@@ -1,0 +1,17 @@
+// Shared helper for bench binaries: print the reproduced paper artifact
+// first, then run the google-benchmark timing section.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#define TOPOCON_BENCH_MAIN(print_report)                  \
+  int main(int argc, char** argv) {                       \
+    print_report(std::cout);                              \
+    ::benchmark::Initialize(&argc, argv);                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                \
+    ::benchmark::Shutdown();                              \
+    return 0;                                             \
+  }

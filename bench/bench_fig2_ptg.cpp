@@ -1,0 +1,98 @@
+// E1 -- Figure 2 (paper Section 3): the process-time graph at time t = 2
+// with n = 3 processes and inputs x = (1, 0, 1), with process 1's view
+// highlighted. Prints the exact node/edge structure and the dot rendering,
+// then benchmarks process-time-graph construction and view extraction.
+#include <sstream>
+
+#include "analysis/report.hpp"
+#include "bench_common.hpp"
+#include "graph/enumerate.hpp"
+#include "ptg/process_time_graph.hpp"
+#include "ptg/view_intern.hpp"
+
+namespace {
+
+using namespace topocon;
+
+RunPrefix figure2_prefix() {
+  // Round 1 and round 2 graphs chosen to match the edge pattern of the
+  // paper's Figure 2 (1-indexed processes 1,2,3 = indices 0,1,2):
+  // round 1: 1->2, 2->3; round 2: 2->1, 3->2.
+  RunPrefix prefix;
+  prefix.inputs = {1, 0, 1};
+  prefix.graphs = {Digraph::from_edges(3, {{0, 1}, {1, 2}}),
+                   Digraph::from_edges(3, {{1, 0}, {2, 1}})};
+  return prefix;
+}
+
+void print_report(std::ostream& out) {
+  out << "== E1: Figure 2 -- process-time graph PT^2, n = 3, x = (1,0,1)\n\n";
+  const RunPrefix prefix = figure2_prefix();
+  const ProcessTimeGraph ptg(prefix);
+  out << ptg.to_string() << '\n';
+
+  out << "View of process 1 (index 0) at t = 2 (highlighted in Figure 2):\n";
+  const auto cone = ptg.view_nodes(0, 2);
+  Table table({"time", "nodes in view"});
+  for (int t = 0; t <= 2; ++t) {
+    std::ostringstream nodes;
+    for (int p = 0; p < 3; ++p) {
+      if (mask_contains(cone[static_cast<std::size_t>(t)], p)) {
+        nodes << '(' << p + 1 << ',' << t << ") ";
+      }
+    }
+    table.add_row({std::to_string(t), nodes.str()});
+  }
+  table.print(out);
+
+  out << "\nGraphviz rendering (view of process 1 in bold green):\n"
+      << ptg.to_dot(0) << '\n';
+}
+
+void BM_PtgConstruction(benchmark::State& state) {
+  const RunPrefix prefix = figure2_prefix();
+  for (auto _ : state) {
+    ProcessTimeGraph ptg(prefix);
+    benchmark::DoNotOptimize(ptg.depth());
+  }
+}
+BENCHMARK(BM_PtgConstruction);
+
+void BM_ViewConeExtraction(benchmark::State& state) {
+  // Longer prefixes: repeat the two figure rounds.
+  RunPrefix prefix = figure2_prefix();
+  for (int i = 0; i < 16; ++i) {
+    prefix.graphs.push_back(prefix.graphs[static_cast<std::size_t>(i % 2)]);
+  }
+  const ProcessTimeGraph ptg(prefix);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ptg.view_nodes(0, ptg.depth()));
+  }
+}
+BENCHMARK(BM_ViewConeExtraction);
+
+void BM_ViewInterningPerPrefix(benchmark::State& state) {
+  RunPrefix prefix = figure2_prefix();
+  const auto graphs = all_graphs(3);
+  for (int i = 0; i < static_cast<int>(state.range(0)) - 2; ++i) {
+    prefix.graphs.push_back(graphs[static_cast<std::size_t>(i * 7 % 64)]);
+  }
+  for (auto _ : state) {
+    ViewInterner interner;
+    benchmark::DoNotOptimize(interner.of_prefix(prefix));
+  }
+}
+BENCHMARK(BM_ViewInterningPerPrefix)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ViewsEqual(benchmark::State& state) {
+  const RunPrefix prefix = figure2_prefix();
+  const ProcessTimeGraph a(prefix), b(prefix);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ProcessTimeGraph::views_equal(a, 0, b, 0, 2));
+  }
+}
+BENCHMARK(BM_ViewsEqual);
+
+}  // namespace
+
+TOPOCON_BENCH_MAIN(print_report)

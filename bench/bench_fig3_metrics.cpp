@@ -1,0 +1,93 @@
+// E2 -- Figure 3 (paper Section 4): comparison of the P-view, minimum, and
+// common-prefix distances on the two three-process executions of the
+// figure. The paper states d_max = d_{3} = 1, d_{2} = 1/2, and
+// d_min = d_{1} = 1/4; the table below regenerates exactly those values.
+// The timing section benchmarks the distance computations on labelled
+// executions and on process-time-graph prefixes.
+#include "analysis/report.hpp"
+#include "bench_common.hpp"
+#include "core/metrics.hpp"
+#include "graph/enumerate.hpp"
+
+namespace {
+
+using namespace topocon;
+
+LabelledExecution figure3_alpha() {
+  return LabelledExecution{{{0, 0, 0}, {0, 0, 1}, {0, 1, 1}}};
+}
+LabelledExecution figure3_beta() {
+  return LabelledExecution{{{0, 0, 1}, {0, 1, 1}, {1, 1, 1}}};
+}
+
+void print_report(std::ostream& out) {
+  out << "== E2: Figure 3 -- P-view vs minimum vs common-prefix distance\n\n";
+  const LabelledExecution alpha = figure3_alpha();
+  const LabelledExecution beta = figure3_beta();
+  Table table({"distance", "paper", "measured"});
+  table.add_row({"d_max(alpha,beta)", "1", fmt(d_max(alpha, beta), 4)});
+  table.add_row({"d_{3}(alpha,beta)", "1", fmt(d_process(alpha, beta, 2), 4)});
+  table.add_row(
+      {"d_{2}(alpha,beta)", "1/2 = 0.5", fmt(d_process(alpha, beta, 1), 4)});
+  table.add_row(
+      {"d_{1}(alpha,beta)", "1/4 = 0.25", fmt(d_process(alpha, beta, 0), 4)});
+  table.add_row({"d_min(alpha,beta)", "1/4 = 0.25", fmt(d_min(alpha, beta), 4)});
+  table.print(out);
+
+  out << "\nTheorem 4.3 sanity on the same pair: d_P monotone in P:\n";
+  Table mono({"P", "d_P"});
+  mono.add_row({"{1}", fmt(d_pset(alpha, beta, 0b001), 4)});
+  mono.add_row({"{1,2}", fmt(d_pset(alpha, beta, 0b011), 4)});
+  mono.add_row({"{1,2,3} = [n]", fmt(d_pset(alpha, beta, 0b111), 4)});
+  mono.print(out);
+  out << '\n';
+}
+
+void BM_LabelledDistances(benchmark::State& state) {
+  const LabelledExecution alpha = figure3_alpha();
+  const LabelledExecution beta = figure3_beta();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d_min(alpha, beta));
+    benchmark::DoNotOptimize(d_max(alpha, beta));
+  }
+}
+BENCHMARK(BM_LabelledDistances);
+
+void BM_PrefixDistance(benchmark::State& state) {
+  const auto graphs = lossy_link_graphs();
+  RunPrefix a, b;
+  a.inputs = {0, 1};
+  b.inputs = {0, 1};
+  const int len = static_cast<int>(state.range(0));
+  for (int t = 0; t < len; ++t) {
+    a.graphs.push_back(graphs[static_cast<std::size_t>(t % 2)]);
+    b.graphs.push_back(graphs[static_cast<std::size_t>((t + t / 4) % 3)]);
+  }
+  ViewInterner interner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d_min(interner, a, b));
+  }
+}
+BENCHMARK(BM_PrefixDistance)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DiameterOfSet(benchmark::State& state) {
+  const auto graphs = lossy_link_graphs();
+  std::vector<RunPrefix> prefixes;
+  for (int k = 0; k < static_cast<int>(state.range(0)); ++k) {
+    RunPrefix prefix;
+    prefix.inputs = {k % 2, (k / 2) % 2};
+    for (int t = 0; t < 8; ++t) {
+      prefix.graphs.push_back(graphs[static_cast<std::size_t>((k + t) % 3)]);
+    }
+    prefixes.push_back(std::move(prefix));
+  }
+  ViewInterner interner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diameter_min(interner, prefixes));
+  }
+}
+BENCHMARK(BM_DiameterOfSet)->Arg(8)->Arg(32);
+
+}  // namespace
+
+TOPOCON_BENCH_MAIN(print_report)

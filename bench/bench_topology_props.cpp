@@ -1,0 +1,133 @@
+// E10 -- Theorems 4.3 / 5.9 and Lemma 4.8 as measured sweeps: the
+// pseudo-metric laws of d_P, the identity d_min = min_p d_{p}, the
+// *failure* of the triangle inequality for d_min (why the minimum
+// topology is only pseudo-semi-metric), and the diameter bound <= 1/2 for
+// broadcastable components (Theorem 5.9). The timing section benchmarks
+// the underlying distance kernels.
+#include <bit>
+#include <memory>
+#include <random>
+
+#include "adversary/lossy_link.hpp"
+#include "analysis/report.hpp"
+#include "bench_common.hpp"
+#include "core/epsilon_approx.hpp"
+#include "core/metrics.hpp"
+#include "graph/enumerate.hpp"
+
+namespace {
+
+using namespace topocon;
+
+RunPrefix random_prefix(std::mt19937_64& rng,
+                        const std::vector<Digraph>& graphs, int n, int len) {
+  RunPrefix prefix;
+  for (int p = 0; p < n; ++p) {
+    prefix.inputs.push_back(static_cast<Value>(rng() % 2));
+  }
+  for (int t = 0; t < len; ++t) {
+    prefix.graphs.push_back(graphs[rng() % graphs.size()]);
+  }
+  return prefix;
+}
+
+void print_report(std::ostream& out) {
+  out << "== E10: topology laws as measured sweeps (Theorems 4.3, 5.9; "
+         "Lemma 4.8)\n\n";
+  std::mt19937_64 rng(2718);
+  const auto graphs = all_graphs(3);
+  ViewInterner interner;
+
+  const int samples = 2000;
+  int sym_ok = 0, tri_p_ok = 0, min_ok = 0, mono_ok = 0;
+  int tri_min_violations = 0;
+  for (int trial = 0; trial < samples; ++trial) {
+    const RunPrefix a = random_prefix(rng, graphs, 3, 5);
+    const RunPrefix b = random_prefix(rng, graphs, 3, 5);
+    const RunPrefix c = random_prefix(rng, graphs, 3, 5);
+    bool sym = true, tri = true, mono = true;
+    double min_expected = 1.0;
+    for (int p = 0; p < 3; ++p) {
+      const double ab = d_process(interner, a, b, p);
+      sym &= ab == d_process(interner, b, a, p);
+      tri &= d_process(interner, a, c, p) <=
+             ab + d_process(interner, b, c, p) + 1e-12;
+      mono &= d_min(interner, a, b) <= ab && ab <= d_max(interner, a, b);
+      min_expected = std::min(min_expected, ab);
+    }
+    sym_ok += sym;
+    tri_p_ok += tri;
+    mono_ok += mono;
+    min_ok += d_min(interner, a, b) == min_expected;
+    // d_min triangle inequality can fail:
+    if (d_min(interner, a, c) >
+        d_min(interner, a, b) + d_min(interner, b, c) + 1e-12) {
+      ++tri_min_violations;
+    }
+  }
+  Table laws({"law", "holds (out of 2000 random triples)"});
+  laws.add_row({"d_{p} symmetry", std::to_string(sym_ok)});
+  laws.add_row({"d_{p} triangle inequality", std::to_string(tri_p_ok)});
+  laws.add_row({"d_min = min_p d_{p} (Lemma 4.8)", std::to_string(min_ok)});
+  laws.add_row({"d_min <= d_{p} <= d_max (monotonicity)",
+                std::to_string(mono_ok)});
+  laws.add_row({"d_min triangle inequality VIOLATIONS (expected > 0)",
+                std::to_string(tri_min_violations)});
+  laws.print(out);
+
+  out << "\nTheorem 5.9: broadcastable components of the solvable lossy "
+         "links\nhave d_min-diameter <= 1/2:\n";
+  Table diam({"adversary", "component", "broadcaster", "diameter",
+              "<= 1/2"});
+  for (unsigned mask : {0b011u, 0b101u, 0b110u}) {
+    const auto ma = make_lossy_link(mask);
+    AnalysisOptions options;
+    options.depth = 3;
+    const DepthAnalysis analysis = analyze_depth(*ma, options);
+    std::vector<std::vector<RunPrefix>> members(analysis.components.size());
+    for (std::size_t i = 0; i < analysis.leaves().size(); ++i) {
+      members[static_cast<std::size_t>(analysis.leaf_component[i])].push_back(
+          *reconstruct_prefix(*ma, analysis, static_cast<int>(i)));
+    }
+    for (std::size_t comp = 0; comp < analysis.components.size(); ++comp) {
+      const ComponentInfo& info = analysis.components[comp];
+      if (info.broadcasters == 0) continue;
+      const double diameter = diameter_min(interner, members[comp]);
+      diam.add_row({lossy_link_subset_name(mask), std::to_string(comp),
+                    std::to_string(std::countr_zero(info.broadcasters) + 1),
+                    fmt(diameter, 4), yes_no(diameter <= 0.5)});
+    }
+  }
+  diam.print(out);
+  out << '\n';
+}
+
+void BM_DProcessKernel(benchmark::State& state) {
+  std::mt19937_64 rng(1);
+  const auto graphs = all_graphs(3);
+  const RunPrefix a = random_prefix(rng, graphs, 3,
+                                    static_cast<int>(state.range(0)));
+  const RunPrefix b = random_prefix(rng, graphs, 3,
+                                    static_cast<int>(state.range(0)));
+  ViewInterner interner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d_process(interner, a, b, 0));
+  }
+}
+BENCHMARK(BM_DProcessKernel)->Arg(8)->Arg(32);
+
+void BM_DMinKernel(benchmark::State& state) {
+  std::mt19937_64 rng(2);
+  const auto graphs = all_graphs(3);
+  const RunPrefix a = random_prefix(rng, graphs, 3, 16);
+  const RunPrefix b = random_prefix(rng, graphs, 3, 16);
+  ViewInterner interner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d_min(interner, a, b));
+  }
+}
+BENCHMARK(BM_DMinKernel);
+
+}  // namespace
+
+TOPOCON_BENCH_MAIN(print_report)

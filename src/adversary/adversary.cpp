@@ -1,0 +1,69 @@
+#include "adversary/adversary.hpp"
+
+#include <cassert>
+
+namespace topocon {
+
+MessageAdversary::MessageAdversary(int n, std::vector<Digraph> alphabet,
+                                   std::string name)
+    : n_(n), alphabet_(std::move(alphabet)), name_(std::move(name)) {
+  assert(!alphabet_.empty());
+  for (const Digraph& g : alphabet_) {
+    assert(g.num_processes() == n_);
+    (void)g;
+  }
+}
+
+bool MessageAdversary::admits_lasso(const std::vector<int>& stem,
+                                    const std::vector<int>& cycle) const {
+  if (cycle.empty()) return false;
+  AdvState s = initial_state();
+  for (const int letter : stem) {
+    s = transition(s, letter);
+    if (s == kRejectState) return false;
+  }
+  // The safety automata in this library have finitely many states, so if
+  // the cycle survives |stem| + enough unrollings it survives forever; all
+  // concrete families here have monotone or memoryless safety, for which
+  // two unrollings suffice (covered by tests).
+  for (int round = 0; round < 2; ++round) {
+    for (const int letter : cycle) {
+      s = transition(s, letter);
+      if (s == kRejectState) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> MessageAdversary::sample(std::mt19937_64& rng,
+                                          int horizon) const {
+  std::vector<int> letters;
+  letters.reserve(static_cast<std::size_t>(horizon));
+  AdvState s = initial_state();
+  std::uniform_int_distribution<int> pick(0, alphabet_size() - 1);
+  for (int t = 0; t < horizon; ++t) {
+    // Rejection-sample an allowed letter; adversaries are non-blocking.
+    int letter = pick(rng);
+    AdvState next = transition(s, letter);
+    [[maybe_unused]] int attempts = 0;
+    while (next == kRejectState) {
+      letter = (letter + 1) % alphabet_size();
+      next = transition(s, letter);
+      assert(++attempts <= alphabet_size() && "blocking adversary state");
+    }
+    letters.push_back(letter);
+    s = next;
+  }
+  return letters;
+}
+
+bool MessageAdversary::safety_rejects(const std::vector<int>& letters) const {
+  AdvState s = initial_state();
+  for (const int letter : letters) {
+    s = transition(s, letter);
+    if (s == kRejectState) return true;
+  }
+  return false;
+}
+
+}  // namespace topocon

@@ -1,0 +1,56 @@
+#include "adversary/finite_loss.hpp"
+
+#include <cassert>
+
+#include "graph/enumerate.hpp"
+
+namespace topocon {
+
+FiniteLossAdversary::FiniteLossAdversary(int n)
+    : FiniteLossAdversary(n, all_graphs(n)) {}
+
+FiniteLossAdversary::FiniteLossAdversary(int n, std::vector<Digraph> alphabet)
+    : MessageAdversary(n, std::move(alphabet),
+                       "finite-loss(n=" + std::to_string(n) + ")"),
+      complete_letter_(-1) {
+  const Digraph complete = Digraph::complete(n);
+  for (int letter = 0; letter < alphabet_size(); ++letter) {
+    if (graph(letter) == complete) {
+      complete_letter_ = letter;
+      break;
+    }
+  }
+  assert(complete_letter_ >= 0 && "alphabet must contain the complete graph");
+}
+
+AdvState FiniteLossAdversary::transition(AdvState state, int letter) const {
+  (void)letter;
+  return state;  // safety closure is the full oblivious adversary
+}
+
+bool FiniteLossAdversary::admits_lasso(const std::vector<int>& stem,
+                                       const std::vector<int>& cycle) const {
+  (void)stem;
+  if (cycle.empty()) return false;
+  for (const int letter : cycle) {
+    if (letter != complete_letter_) return false;
+  }
+  return true;
+}
+
+std::vector<int> FiniteLossAdversary::sample(std::mt19937_64& rng,
+                                             int horizon) const {
+  std::vector<int> letters(static_cast<std::size_t>(horizon),
+                           complete_letter_);
+  if (horizon <= 1) return letters;
+  // Lossy phase of random length in [0, horizon/2]; arbitrary graphs there.
+  std::uniform_int_distribution<int> phase(0, horizon / 2);
+  std::uniform_int_distribution<int> pick(0, alphabet_size() - 1);
+  const int lossy_rounds = phase(rng);
+  for (int t = 0; t < lossy_rounds; ++t) {
+    letters[static_cast<std::size_t>(t)] = pick(rng);
+  }
+  return letters;
+}
+
+}  // namespace topocon

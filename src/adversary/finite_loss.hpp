@@ -1,0 +1,60 @@
+// The finite-loss adversary: every admissible sequence contains only
+// finitely many rounds that are not the complete graph ("eventually forever
+// reliable"). This is the library's flagship *non-compact, solvable* message
+// adversary for Section 6.3 of the paper:
+//
+//  * Non-compact: the sequences with at most one lossy round, say, converge
+//    (letter-wise) to sequences with infinitely many losses, which are not
+//    admissible. The closure is the oblivious adversary over the same
+//    alphabet, under which consensus is impossible for any alphabet that
+//    permits silencing a process forever.
+//  * Solvable: every admissible sequence is eventually complete forever, so
+//    every process broadcasts in every admissible run -- all connected
+//    components of PS are broadcastable and Theorem 6.7 applies. A direct
+//    witness algorithm (runtime/ack_consensus.*) decides once it can verify
+//    from its view that everyone knows process 0's input.
+//  * The epsilon-approximation of Section 6.2 *fails* on it, exactly as the
+//    paper states for non-compact adversaries: at every finite depth t the
+//    all-lossy prefix keeps the valence regions chain-connected, so no
+//    finite depth certifies solvability (demonstrated in bench E7).
+//
+// The alphabet is every graph on [n]; losses per round are unbounded, only
+// their total duration is finite.
+#pragma once
+
+#include <memory>
+
+#include "adversary/adversary.hpp"
+
+namespace topocon {
+
+class FiniteLossAdversary : public MessageAdversary {
+ public:
+  /// n <= 4 (the alphabet enumerates all graphs on [n]).
+  explicit FiniteLossAdversary(int n);
+
+  /// Large-n constructor with an explicit alphabet (must contain the
+  /// complete graph); the prefix analysis no longer enumerates all graphs,
+  /// but simulation-side use (AckConsensus validation, sampling) scales to
+  /// kMaxProcesses.
+  FiniteLossAdversary(int n, std::vector<Digraph> alphabet);
+
+  AdvState transition(AdvState state, int letter) const override;
+  bool is_compact() const override { return false; }
+
+  /// Lasso admissible iff the cycle consists of complete graphs only.
+  bool admits_lasso(const std::vector<int>& stem,
+                    const std::vector<int>& cycle) const override;
+
+  /// Samples: random graphs until a geometric stopping time within the
+  /// horizon, complete graphs afterwards.
+  std::vector<int> sample(std::mt19937_64& rng, int horizon) const override;
+
+  /// Letter index of the complete graph.
+  int complete_letter() const { return complete_letter_; }
+
+ private:
+  int complete_letter_;
+};
+
+}  // namespace topocon

@@ -1,0 +1,30 @@
+#include "adversary/heard_of.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "graph/enumerate.hpp"
+
+namespace topocon {
+
+std::unique_ptr<ObliviousAdversary> make_heard_of_adversary(int n,
+                                                            int min_heard) {
+  assert(min_heard >= 1 && min_heard <= n);
+  std::vector<Digraph> chosen;
+  for (const Digraph& g : all_graphs(n)) {
+    bool ok = true;
+    for (int q = 0; q < n; ++q) {
+      if (std::popcount(g.in_mask(q)) < min_heard) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) chosen.push_back(g);
+  }
+  return std::make_unique<ObliviousAdversary>(
+      n, std::move(chosen),
+      "heard-of(n=" + std::to_string(n) +
+          ",k=" + std::to_string(min_heard) + ")");
+}
+
+}  // namespace topocon

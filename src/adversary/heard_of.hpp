@@ -1,0 +1,25 @@
+// Heard-Of style oblivious adversaries (Charron-Bost & Schiper [7]): the
+// admissible graphs are those in which every process "hears of" at least
+// `min_heard` processes per round (its own in-degree, self included).
+//
+// For n = 2, min_heard = 1 this is exactly the full lossy link
+// {<-, ->, <->} (impossible); min_heard = n leaves only the complete graph
+// (trivially solvable). In between, each receiver may lose up to
+// n - min_heard incoming messages per round -- the per-receiver analogue
+// of the per-round total budget of the omission adversaries [21, 22],
+// and impossible for every min_heard < n by the same silencing argument
+// (each other receiver can drop the same sender every round).
+#pragma once
+
+#include <memory>
+
+#include "adversary/oblivious.hpp"
+
+namespace topocon {
+
+/// Builds the oblivious adversary of all graphs with per-process in-degree
+/// >= min_heard (1 <= min_heard <= n; self-loops count). n <= 4.
+std::unique_ptr<ObliviousAdversary> make_heard_of_adversary(int n,
+                                                            int min_heard);
+
+}  // namespace topocon

@@ -1,0 +1,34 @@
+#include "adversary/lossy_link.hpp"
+
+#include <cassert>
+
+#include "graph/enumerate.hpp"
+
+namespace topocon {
+
+std::unique_ptr<ObliviousAdversary> make_lossy_link(unsigned subset_mask) {
+  assert(subset_mask != 0 && subset_mask < 8);
+  const std::vector<Digraph> all = lossy_link_graphs();
+  std::vector<Digraph> chosen;
+  for (int i = 0; i < 3; ++i) {
+    if ((subset_mask >> i) & 1u) chosen.push_back(all[static_cast<std::size_t>(i)]);
+  }
+  return std::make_unique<ObliviousAdversary>(
+      2, std::move(chosen), "lossy-link" + lossy_link_subset_name(subset_mask));
+}
+
+std::string lossy_link_subset_name(unsigned subset_mask) {
+  std::string name = "{";
+  bool first = true;
+  for (int i = 0; i < 3; ++i) {
+    if ((subset_mask >> i) & 1u) {
+      if (!first) name += ", ";
+      name += lossy_link_name(i);
+      first = false;
+    }
+  }
+  name += "}";
+  return name;
+}
+
+}  // namespace topocon

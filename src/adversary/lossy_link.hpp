@@ -1,0 +1,25 @@
+// The lossy-link scenario for n = 2 (paper, Sections 1 and 6.1; [8, 9, 21]).
+//
+// The adversary may choose per round from a subset of {<-, ->, <->}. The
+// paper's touchstone results, all reproduced by this library:
+//   * D = {<-, <->, ->}  : consensus impossible (Santoro-Widmayer [21]).
+//   * D = {<-, ->}       : consensus solvable  (CGP [8]).
+// Subsets are encoded as 3-bit masks over the order of lossy_link_graphs():
+// bit 0 = "<-", bit 1 = "->", bit 2 = "<->".
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "adversary/oblivious.hpp"
+
+namespace topocon {
+
+/// Builds the oblivious lossy-link adversary for the given subset mask
+/// (must be nonzero).
+std::unique_ptr<ObliviousAdversary> make_lossy_link(unsigned subset_mask);
+
+/// Human-readable subset name, e.g. "{<-, <->}".
+std::string lossy_link_subset_name(unsigned subset_mask);
+
+}  // namespace topocon

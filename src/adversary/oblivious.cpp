@@ -1,0 +1,14 @@
+#include "adversary/oblivious.hpp"
+
+namespace topocon {
+
+ObliviousAdversary::ObliviousAdversary(int n, std::vector<Digraph> graphs,
+                                       std::string name)
+    : MessageAdversary(n, std::move(graphs), std::move(name)) {}
+
+AdvState ObliviousAdversary::transition(AdvState state, int letter) const {
+  (void)letter;
+  return state;  // single non-rejecting state; every letter always allowed
+}
+
+}  // namespace topocon

@@ -1,0 +1,15 @@
+#include "adversary/omission.hpp"
+
+#include "graph/enumerate.hpp"
+
+namespace topocon {
+
+std::unique_ptr<ObliviousAdversary> make_omission_adversary(
+    int n, int max_omissions) {
+  return std::make_unique<ObliviousAdversary>(
+      n, graphs_with_max_omissions(n, max_omissions),
+      "omission(n=" + std::to_string(n) +
+          ",f=" + std::to_string(max_omissions) + ")");
+}
+
+}  // namespace topocon

@@ -1,0 +1,22 @@
+// Per-round omission adversaries (Santoro-Widmayer [21], Schmid-Weiss-Keidar
+// [22]): in every round, the adversary removes up to f off-diagonal edges
+// from the complete graph. Oblivious, hence compact.
+//
+// Known results reproduced as oracles and benchmarks:
+//   * f >= n-1: consensus impossible (the adversary can silence one process
+//     each round; [21], re-derived topologically in paper Section 6.1).
+//   * f < n-1 : consensus solvable (no process can be isolated; after one
+//     round some process is heard by everyone).
+#pragma once
+
+#include <memory>
+
+#include "adversary/oblivious.hpp"
+
+namespace topocon {
+
+/// Builds the adversary that may omit up to `max_omissions` edges per round.
+std::unique_ptr<ObliviousAdversary> make_omission_adversary(int n,
+                                                            int max_omissions);
+
+}  // namespace topocon

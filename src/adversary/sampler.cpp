@@ -1,0 +1,58 @@
+#include "adversary/sampler.hpp"
+
+#include <cassert>
+
+namespace topocon {
+
+std::vector<Digraph> letters_to_graphs(const MessageAdversary& adversary,
+                                       const std::vector<int>& letters) {
+  std::vector<Digraph> graphs;
+  graphs.reserve(letters.size());
+  for (const int letter : letters) {
+    graphs.push_back(adversary.graph(letter));
+  }
+  return graphs;
+}
+
+RunPrefix sample_prefix(const MessageAdversary& adversary,
+                        const InputVector& inputs, int length,
+                        std::mt19937_64& rng) {
+  assert(static_cast<int>(inputs.size()) == adversary.num_processes());
+  RunPrefix prefix;
+  prefix.inputs = inputs;
+  prefix.graphs = letters_to_graphs(adversary, adversary.sample(rng, length));
+  return prefix;
+}
+
+InputVector sample_inputs(int n, int num_values, std::mt19937_64& rng) {
+  std::uniform_int_distribution<Value> pick(0, num_values - 1);
+  InputVector inputs(static_cast<std::size_t>(n));
+  for (Value& x : inputs) {
+    x = pick(rng);
+  }
+  return inputs;
+}
+
+std::vector<std::vector<int>> enumerate_letter_sequences(
+    const MessageAdversary& adversary, int length) {
+  std::vector<std::vector<int>> result;
+  std::vector<int> current;
+  // Depth-first enumeration following the safety automaton.
+  auto visit = [&](auto&& self, AdvState state) -> void {
+    if (static_cast<int>(current.size()) == length) {
+      result.push_back(current);
+      return;
+    }
+    for (int letter = 0; letter < adversary.alphabet_size(); ++letter) {
+      const AdvState next = adversary.transition(state, letter);
+      if (next == kRejectState) continue;
+      current.push_back(letter);
+      self(self, next);
+      current.pop_back();
+    }
+  };
+  visit(visit, adversary.initial_state());
+  return result;
+}
+
+}  // namespace topocon

@@ -1,0 +1,32 @@
+// Helpers to materialize sampled / enumerated adversary letter sequences as
+// run prefixes (inputs + graphs) for simulation and analysis.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "ptg/prefix.hpp"
+
+namespace topocon {
+
+/// Converts a letter sequence to the corresponding graph sequence.
+std::vector<Digraph> letters_to_graphs(const MessageAdversary& adversary,
+                                       const std::vector<int>& letters);
+
+/// Samples an admissible prefix of the given length with the given inputs.
+RunPrefix sample_prefix(const MessageAdversary& adversary,
+                        const InputVector& inputs, int length,
+                        std::mt19937_64& rng);
+
+/// Samples a uniformly random input vector over {0, ..., num_values-1}^n.
+InputVector sample_inputs(int n, int num_values, std::mt19937_64& rng);
+
+/// Enumerates all safety-consistent letter sequences of the given length
+/// (the depth-`length` prefix tree of the adversary's closure). Intended for
+/// exhaustive verification at small depth; the count is
+/// O(alphabet^length).
+std::vector<std::vector<int>> enumerate_letter_sequences(
+    const MessageAdversary& adversary, int length);
+
+}  // namespace topocon

@@ -1,0 +1,126 @@
+#include "adversary/vssc.hpp"
+
+#include <cassert>
+#include <map>
+
+#include "graph/enumerate.hpp"
+#include "graph/scc.hpp"
+
+namespace topocon {
+
+VsscAdversary::VsscAdversary(int n, int stability)
+    : VsscAdversary(n, stability, rooted_graphs(n)) {}
+
+VsscAdversary::VsscAdversary(int n, int stability,
+                             std::vector<Digraph> alphabet)
+    : MessageAdversary(n, std::move(alphabet),
+                       "vssc(n=" + std::to_string(n) +
+                           ",k=" + std::to_string(stability) + ")"),
+      stability_(stability) {
+  assert(stability >= 1);
+  roots_.reserve(static_cast<std::size_t>(alphabet_size()));
+  std::map<NodeMask, std::vector<int>> grouped;
+  for (int letter = 0; letter < alphabet_size(); ++letter) {
+    assert(is_rooted(graph(letter)));
+    const NodeMask root = root_members(graph(letter));
+    roots_.push_back(root);
+    grouped[root].push_back(letter);
+  }
+  assert(grouped.size() >= 3 && "sampler needs >= 3 distinct root sets");
+  by_root_.reserve(grouped.size());
+  for (auto& [root, letters] : grouped) {
+    (void)root;
+    by_root_.push_back(std::move(letters));
+  }
+}
+
+AdvState VsscAdversary::transition(AdvState state, int letter) const {
+  (void)letter;
+  return state;  // every rooted graph is always allowed (safety closure)
+}
+
+bool VsscAdversary::has_stable_window(const std::vector<int>& letters) const {
+  int run_length = 0;
+  NodeMask current = 0;
+  for (const int letter : letters) {
+    const NodeMask root = root_of(letter);
+    if (run_length > 0 && root == current) {
+      ++run_length;
+    } else {
+      current = root;
+      run_length = 1;
+    }
+    if (run_length >= stability_) return true;
+  }
+  return false;
+}
+
+bool VsscAdversary::admits_lasso(const std::vector<int>& stem,
+                                 const std::vector<int>& cycle) const {
+  if (cycle.empty()) return false;
+  // A stable window in stem . cycle^w, if any, occurs within the first
+  // |stem| + 2|cycle| + stability letters (it either lies in the stem, or
+  // intersects the periodic part and then repeats within two periods plus
+  // the window length).
+  std::vector<int> unrolled = stem;
+  const std::size_t needed = stem.size() + 2 * cycle.size() +
+                             static_cast<std::size_t>(stability_);
+  while (unrolled.size() < needed) {
+    unrolled.insert(unrolled.end(), cycle.begin(), cycle.end());
+  }
+  return has_stable_window(unrolled);
+}
+
+std::vector<int> VsscAdversary::sample(std::mt19937_64& rng,
+                                       int horizon) const {
+  // Samples the "isolated stability" regime of [23] that the library's
+  // VsscConsensus algorithm is built for: exactly one vertex-stable window
+  // of length `stability_`, and *consecutive roots differ* everywhere
+  // outside it, so no competing stable run of length >= 2 exists.
+  std::vector<int> letters(static_cast<std::size_t>(horizon), 0);
+  if (horizon <= 0) return letters;
+
+  std::uniform_int_distribution<std::size_t> pick_group(0,
+                                                        by_root_.size() - 1);
+  auto pick_from = [&](const std::vector<int>& group) {
+    std::uniform_int_distribution<std::size_t> dist(0, group.size() - 1);
+    return group[dist(rng)];
+  };
+
+  int start = 0;
+  std::size_t window_group = pick_group(rng);
+  if (horizon >= stability_) {
+    std::uniform_int_distribution<int> start_dist(0, horizon - stability_);
+    start = start_dist(rng);
+  } else {
+    start = horizon;  // no room: degenerate sample (callers use horizons
+                      // >= stability for admissible runs)
+  }
+  const int end = std::min(horizon, start + stability_);
+  const NodeMask window_root =
+      roots_[static_cast<std::size_t>(by_root_[window_group].front())];
+
+  NodeMask previous_root = 0;
+  for (int t = 0; t < horizon; ++t) {
+    if (t >= start && t < end) {
+      letters[static_cast<std::size_t>(t)] = pick_from(by_root_[window_group]);
+      previous_root = window_root;
+      continue;
+    }
+    // Outside the window: any group whose root differs from the previous
+    // round's root and from the window root at its boundaries.
+    const NodeMask forbid_boundary =
+        (t + 1 == start || t == end) ? window_root : 0;
+    std::size_t group;
+    NodeMask root;
+    do {
+      group = pick_group(rng);
+      root = roots_[static_cast<std::size_t>(by_root_[group].front())];
+    } while (root == previous_root || root == forbid_boundary);
+    letters[static_cast<std::size_t>(t)] = pick_from(by_root_[group]);
+    previous_root = root;
+  }
+  return letters;
+}
+
+}  // namespace topocon

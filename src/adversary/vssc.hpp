@@ -1,0 +1,64 @@
+// Eventually-stabilizing "vertex-stable source component" adversaries
+// (paper, Sections 1, 6.1, 6.3; Biely et al. [6], Winkler et al. [23]).
+//
+// Every round's graph is *rooted* (has a unique root component). A sequence
+// is admissible iff somewhere it contains a window of `stability` many
+// consecutive rounds whose root components have the *same member set* (the
+// vertex-stable source component, VSSC).
+//
+// Properties reproduced by the library:
+//  * Non-compact: prefixes that keep alternating roots converge to sequences
+//    without any stable window.
+//  * Short windows (stability too small for the root to broadcast and for
+//    everyone to detect it) leave consensus unsolvable [6, 23]; the fair /
+//    unfair limit sequences of Definition 5.16 are exactly the runs where a
+//    sufficiently stable window never happens.
+//  * Long windows make every component broadcastable: during a window of
+//    length >= 2n-1 every root member's input reaches every process and the
+//    window becomes locally verifiable; runtime/vssc_algo.* decides then.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+
+namespace topocon {
+
+class VsscAdversary : public MessageAdversary {
+ public:
+  /// n <= 4; stability >= 1.
+  VsscAdversary(int n, int stability);
+
+  /// Large-n constructor with an explicit alphabet of *rooted* graphs
+  /// (asserted); simulation-side use scales to kMaxProcesses.
+  VsscAdversary(int n, int stability, std::vector<Digraph> alphabet);
+
+  AdvState transition(AdvState state, int letter) const override;
+  bool is_compact() const override { return false; }
+
+  bool admits_lasso(const std::vector<int>& stem,
+                    const std::vector<int>& cycle) const override;
+
+  /// Samples rooted graphs with one stable window of length `stability()`
+  /// inserted at a random position within the horizon.
+  std::vector<int> sample(std::mt19937_64& rng, int horizon) const override;
+
+  int stability() const { return stability_; }
+
+  /// Root-component member set of the given letter's graph.
+  NodeMask root_of(int letter) const {
+    return roots_[static_cast<std::size_t>(letter)];
+  }
+
+  /// True iff letters[a .. a+stability-1] is a vertex-stable window for
+  /// some a (used by tests and the admissibility predicate).
+  bool has_stable_window(const std::vector<int>& letters) const;
+
+ private:
+  int stability_;
+  std::vector<NodeMask> roots_;              // per letter
+  std::vector<std::vector<int>> by_root_;    // letters grouped by root set
+};
+
+}  // namespace topocon

@@ -1,0 +1,59 @@
+#include "adversary/windowed.hpp"
+
+#include <cassert>
+
+#include "graph/enumerate.hpp"
+
+namespace topocon {
+
+WindowedAdversary::WindowedAdversary(int n, std::vector<Digraph> graphs,
+                                     int window, std::string name)
+    : MessageAdversary(
+          n, std::move(graphs),
+          name.empty() ? "windowed(w=" + std::to_string(window) + ")"
+                       : std::move(name)),
+      window_(window) {
+  assert(window >= 1);
+}
+
+AdvState WindowedAdversary::transition(AdvState state, int letter) const {
+  if (state == 0) {
+    return 1 + letter * window_;  // first round: any letter, age 1
+  }
+  const int encoded = state - 1;
+  const int last = encoded / window_;
+  const int age = encoded % window_ + 1;
+  if (letter == last) {
+    const int new_age = age < window_ ? age + 1 : window_;
+    return 1 + letter * window_ + (new_age - 1);
+  }
+  if (age >= window_) {
+    return 1 + letter * window_;  // switch allowed, age resets
+  }
+  return kRejectState;  // premature switch
+}
+
+std::vector<int> WindowedAdversary::sample(std::mt19937_64& rng,
+                                           int horizon) const {
+  std::vector<int> letters;
+  letters.reserve(static_cast<std::size_t>(horizon));
+  std::uniform_int_distribution<int> pick(0, alphabet_size() - 1);
+  std::uniform_int_distribution<int> extra(0, window_);
+  while (static_cast<int>(letters.size()) < horizon) {
+    const int letter = pick(rng);
+    const int run = window_ + extra(rng);
+    for (int i = 0; i < run && static_cast<int>(letters.size()) < horizon;
+         ++i) {
+      letters.push_back(letter);
+    }
+  }
+  return letters;
+}
+
+std::unique_ptr<WindowedAdversary> make_windowed_lossy_link(int window) {
+  return std::make_unique<WindowedAdversary>(
+      2, lossy_link_graphs(), window,
+      "windowed-lossy-link(w=" + std::to_string(window) + ")");
+}
+
+}  // namespace topocon

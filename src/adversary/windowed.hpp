@@ -1,0 +1,58 @@
+// Windowed (repetition-constrained) message adversaries: a *non-oblivious
+// but compact* family. The adversary picks graphs from a base set but must
+// keep each chosen graph for at least `window` consecutive rounds before
+// switching.
+//
+// This family serves two purposes in the library:
+//
+//  1. It exercises the general safety-automaton machinery (every other
+//     compact family here is oblivious, i.e., single-state): the automaton
+//     tracks (last letter, age) and rejects premature switches. The set of
+//     admissible sequences is limit-closed, hence compact, but depends on
+//     history -- exactly the "set of possible graphs may change over time"
+//     setting of the paper's Section 1.
+//  2. It yields a sharp ablation discovered by the checker itself: the
+//     lossy link {<-, ->, <->} is *impossible* for window = 1 (oblivious,
+//     Santoro-Widmayer) but becomes *solvable* for window >= 2, with
+//     decisions at round 2. Intuition: the bivalence chain needs to
+//     perturb single rounds, and the repetition constraint breaks all
+//     single-round perturbations; after two equal rounds each process has
+//     relayed enough of its first-round view to disambiguate. This is the
+//     compact cousin of the paper's Section 6.3 message: stability
+//     (here: forced repetition; there: a stable root window) is what
+//     rescues consensus. Reproduced in bench_windowed and tests.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+
+namespace topocon {
+
+class WindowedAdversary : public MessageAdversary {
+ public:
+  /// Base graphs + minimal repetition count (window >= 1; window = 1 is
+  /// exactly the oblivious adversary over the base set).
+  WindowedAdversary(int n, std::vector<Digraph> graphs, int window,
+                    std::string name = {});
+
+  AdvState initial_state() const override { return 0; }
+  AdvState transition(AdvState state, int letter) const override;
+
+  /// Samples admissible sequences: i.i.d. letters stretched to random run
+  /// lengths >= window.
+  std::vector<int> sample(std::mt19937_64& rng, int horizon) const override;
+
+  int window() const { return window_; }
+
+ private:
+  // State encoding: 0 = initial (nothing played yet);
+  // 1 + letter * window + (age - 1) with age in [1, window] capped.
+  int window_;
+};
+
+/// The windowed lossy link over the full set {<-, ->, <->}.
+std::unique_ptr<WindowedAdversary> make_windowed_lossy_link(int window);
+
+}  // namespace topocon

@@ -1,0 +1,24 @@
+#include "analysis/oracles.hpp"
+
+#include <cassert>
+
+namespace topocon {
+
+bool lossy_link_solvable(unsigned subset_mask) {
+  assert(subset_mask != 0 && subset_mask < 8);
+  return subset_mask != 7u;  // impossible iff all of {<-, ->, <->} allowed
+}
+
+bool omission_solvable(int n, int max_omissions) {
+  assert(n >= 2);
+  return max_omissions <= n - 2;
+}
+
+std::optional<bool> vssc_solvable(int n, int stability) {
+  assert(n >= 2 && stability >= 1);
+  if (stability == 1) return false;  // oblivious rooted graphs, [21]-style
+  if (stability >= 3 * n) return true;  // constructive (vssc_algo)
+  return std::nullopt;
+}
+
+}  // namespace topocon

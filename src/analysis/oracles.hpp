@@ -1,0 +1,37 @@
+// Ground-truth solvability oracles from the literature, used to validate
+// the topological checker and to label benchmark tables.
+//
+// Sources:
+//  * Lossy link, n = 2 (Santoro-Widmayer [21]; Coulouma-Godard-Peters [8];
+//    Fevat-Godard [9]): over subsets of {<-, ->, <->}, consensus is
+//    impossible exactly for the full set {<-, ->, <->}. Every proper
+//    nonempty subset leaves a process that is heard in every round
+//    ({<-, <->}: process 1; {->, <->}: process 0; singletons trivially) or
+//    is the CGP-solvable pair {<-, ->}.
+//  * Per-round omission adversaries (Santoro-Widmayer [21], Schmid-Weiss-
+//    Keidar [22]): with up to f omissions per round, consensus is solvable
+//    iff f <= n-2.
+//  * VSSC adversaries (Biely et al. [6], Winkler et al. [23]): stability 1
+//    (the oblivious adversary of all rooted graphs) is impossible for
+//    n >= 2; sufficiently long stability windows are solvable. The
+//    library's constructive threshold is stability >= 3n with isolated
+//    stability (see runtime/vssc_algo.hpp); between the known-impossible
+//    and the constructive regime the oracle reports "unknown".
+#pragma once
+
+#include <optional>
+
+namespace topocon {
+
+/// True iff consensus is solvable for the lossy-link subset (3-bit mask,
+/// bit order of lossy_link_graphs(); must be nonzero).
+bool lossy_link_solvable(unsigned subset_mask);
+
+/// True iff consensus is solvable with at most f omissions per round.
+bool omission_solvable(int n, int max_omissions);
+
+/// Three-valued oracle for the VSSC family: true/false when the literature
+/// (or the library's constructive algorithm) settles it, nullopt otherwise.
+std::optional<bool> vssc_solvable(int n, int stability);
+
+}  // namespace topocon

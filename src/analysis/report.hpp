@@ -1,0 +1,32 @@
+// Minimal fixed-width table formatting for benchmark and example output.
+// Benches print the reproduced paper artifact (table / figure series) with
+// these helpers before running their timing sections.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace topocon {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column-aligned padding and a header rule.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (fixed).
+std::string fmt(double value, int precision = 3);
+
+/// "yes"/"no".
+std::string yes_no(bool value);
+
+}  // namespace topocon

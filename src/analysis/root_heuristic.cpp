@@ -1,0 +1,44 @@
+#include "analysis/root_heuristic.hpp"
+
+#include <cassert>
+
+#include "core/union_find.hpp"
+#include "graph/scc.hpp"
+
+namespace topocon {
+
+RootHeuristicResult root_intersection_heuristic(
+    const std::vector<Digraph>& alphabet) {
+  assert(!alphabet.empty());
+  const std::size_t m = alphabet.size();
+  std::vector<NodeMask> bcast(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    bcast[i] = broadcasters(alphabet[i]);
+  }
+  UnionFind classes(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      if ((bcast[i] & bcast[j]) != 0) {
+        classes.unite(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  const std::vector<int> ids = classes.component_ids();
+  RootHeuristicResult result;
+  result.class_members.assign(
+      static_cast<std::size_t>(classes.num_sets()), 0);
+  result.class_broadcasters.assign(
+      static_cast<std::size_t>(classes.num_sets()), ~NodeMask{0});
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto c = static_cast<std::size_t>(ids[i]);
+    result.class_members[c] |= std::uint32_t{1} << i;
+    result.class_broadcasters[c] &= bcast[i];
+  }
+  result.solvable = true;
+  for (const NodeMask common : result.class_broadcasters) {
+    if (common == 0) result.solvable = false;
+  }
+  return result;
+}
+
+}  // namespace topocon

@@ -1,0 +1,46 @@
+// A combinatorial baseline for *oblivious* adversaries, inspired by the
+// beta-class characterization of Coulouma-Godard-Peters [8] (the paper's
+// reference for oblivious solvability):
+//
+//   * relate two graphs iff their broadcaster sets (members of the unique
+//     root component, empty for non-rooted graphs) intersect;
+//   * close transitively into classes;
+//   * declare consensus solvable iff every class has a common broadcaster
+//     (the intersection of its members' broadcaster sets is nonempty).
+//
+// Intuition: graphs with a common broadcaster p are confusable -- p's
+// broadcast looks the same -- so a class must agree on one process whose
+// input can safely drive the decision; a non-rooted graph (no broadcaster
+// at all) poisons its class.
+//
+// Status: this is a *heuristic baseline*, not the full CGP theorem. It is
+// exhaustively correct on n = 2 (all 15 alphabets over {empty, <-, ->,
+// <->}; verified in tests against the topological checker), but for n = 3
+// it diverges from the truth in BOTH directions -- the cross-validation
+// suite (tests/root_heuristic_test.cpp) pins one alphabet it wrongly
+// calls solvable and one it wrongly calls unsolvable (where the checker's
+// certificate survives exhaustive simulation). The CGP beta-relation is
+// genuinely finer than broadcaster intersection; the topological checker
+// is the library's source of truth. The heuristic remains useful as an
+// O(|alphabet|^2) first filter and as a benchmark comparison point.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace topocon {
+
+struct RootHeuristicResult {
+  bool solvable = false;
+  /// Per beta-class: bitmask of alphabet indices in the class.
+  std::vector<std::uint32_t> class_members;
+  /// Per beta-class: intersection of the members' broadcaster sets.
+  std::vector<NodeMask> class_broadcasters;
+};
+
+/// Runs the heuristic on an oblivious alphabet.
+RootHeuristicResult root_intersection_heuristic(
+    const std::vector<Digraph>& alphabet);
+
+}  // namespace topocon

@@ -1,0 +1,37 @@
+#include "core/broadcast.hpp"
+
+#include "ptg/reach.hpp"
+
+namespace topocon {
+
+NodeMask broadcast_witnesses(const std::vector<RunPrefix>& prefixes) {
+  if (prefixes.empty()) return 0;
+  NodeMask witnesses = full_mask(prefixes.front().num_processes());
+  for (const RunPrefix& prefix : prefixes) {
+    witnesses &= broadcast_complete(reach_of_prefix(prefix));
+  }
+  return witnesses;
+}
+
+NodeMask broadcasters(const std::vector<RunPrefix>& prefixes) {
+  NodeMask candidates = broadcast_witnesses(prefixes);
+  if (candidates == 0) return 0;
+  const int n = prefixes.front().num_processes();
+  for (int p = 0; p < n; ++p) {
+    if (!mask_contains(candidates, p)) continue;
+    const Value x0 = prefixes.front().inputs[static_cast<std::size_t>(p)];
+    for (const RunPrefix& prefix : prefixes) {
+      if (prefix.inputs[static_cast<std::size_t>(p)] != x0) {
+        candidates &= ~(NodeMask{1} << p);
+        break;
+      }
+    }
+  }
+  return candidates;
+}
+
+bool is_broadcastable(const std::vector<RunPrefix>& prefixes) {
+  return broadcasters(prefixes) != 0;
+}
+
+}  // namespace topocon

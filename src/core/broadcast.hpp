@@ -1,0 +1,27 @@
+// Broadcastability (Definition 5.8) on finite sets of run prefixes, plus
+// the diameter bound of Theorem 5.9 / Corollary 5.10 as checkable
+// predicates. Used by tests and benches to validate the theorems on
+// concrete component approximations.
+#pragma once
+
+#include <vector>
+
+#include "ptg/prefix.hpp"
+#include "ptg/view_intern.hpp"
+
+namespace topocon {
+
+/// Processes p such that in every prefix of the set, every process knows
+/// p's input by the end of the prefix (the finite-horizon version of
+/// "p is heard by all", Definition 5.8).
+NodeMask broadcast_witnesses(const std::vector<RunPrefix>& prefixes);
+
+/// True iff some process is a broadcast witness *and* its input value is
+/// the same in every prefix of the set. For a connected set this is exactly
+/// broadcastability; Theorem 5.9 then bounds the d_min-diameter by 1/2.
+bool is_broadcastable(const std::vector<RunPrefix>& prefixes);
+
+/// The broadcaster candidates: broadcast witnesses with uniform input.
+NodeMask broadcasters(const std::vector<RunPrefix>& prefixes);
+
+}  // namespace topocon

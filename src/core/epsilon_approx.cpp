@@ -1,0 +1,263 @@
+#include "core/epsilon_approx.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_map>
+
+#include "core/union_find.hpp"
+
+namespace topocon {
+
+namespace {
+
+// Dedup key of a prefix class: safety state plus all interned views. The
+// views determine the inputs (every view contains its own input) and the
+// reach masks (the cone determines who has been heard), so this key
+// identifies the class exactly.
+struct StateKey {
+  AdvState adv_state;
+  ViewVector views;
+  bool operator==(const StateKey&) const = default;
+};
+
+struct StateKeyHash {
+  std::size_t operator()(const StateKey& k) const noexcept {
+    std::size_t h = static_cast<std::size_t>(k.adv_state) + 1u;
+    for (const ViewId id : k.views) {
+      h ^= static_cast<std::size_t>(id) + 0x9e3779b9u + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+DepthAnalysis analyze_depth(const MessageAdversary& adversary,
+                            const AnalysisOptions& options,
+                            std::shared_ptr<ViewInterner> interner) {
+  const int n = adversary.num_processes();
+  DepthAnalysis analysis;
+  analysis.num_values = options.num_values;
+  analysis.num_processes = n;
+  analysis.interner =
+      interner ? std::move(interner) : std::make_shared<ViewInterner>();
+  ViewInterner& intern = *analysis.interner;
+
+  // ---- Level 0: one class per input vector.
+  std::vector<PrefixState> current;
+  for (const InputVector& x : all_input_vectors(n, options.num_values)) {
+    PrefixState state;
+    state.inputs = x;
+    state.views = intern.initial(x);
+    state.reach = initial_reach(n);
+    state.adv_state = adversary.initial_state();
+    state.multiplicity = 1;
+    current.push_back(std::move(state));
+  }
+  if (options.keep_levels) {
+    analysis.levels.push_back(current);
+    analysis.first_parent.push_back(
+        std::vector<std::pair<int, int>>(current.size(), {-1, -1}));
+  }
+
+  // ---- BFS levels 1..depth with per-level deduplication.
+  int reached_depth = 0;
+  for (int s = 1; s <= options.depth; ++s) {
+    std::vector<PrefixState> next;
+    std::vector<std::pair<int, int>> next_parent;
+    std::unordered_map<StateKey, int, StateKeyHash> index;
+    std::vector<std::vector<int>> children(current.size());
+    bool overflow = false;
+
+    for (std::size_t i = 0; i < current.size() && !overflow; ++i) {
+      const PrefixState& parent = current[i];
+      for (int letter = 0; letter < adversary.alphabet_size(); ++letter) {
+        const AdvState adv_next =
+            adversary.transition(parent.adv_state, letter);
+        if (adv_next == kRejectState) continue;
+        const Digraph& g = adversary.graph(letter);
+        StateKey key{adv_next, intern.advance(parent.views, g)};
+        auto [it, inserted] =
+            index.try_emplace(std::move(key), static_cast<int>(next.size()));
+        if (inserted) {
+          PrefixState child;
+          child.inputs = parent.inputs;
+          child.views = it->first.views;
+          child.reach = advance_reach(parent.reach, g);
+          child.adv_state = adv_next;
+          child.multiplicity = parent.multiplicity;
+          next.push_back(std::move(child));
+          next_parent.emplace_back(static_cast<int>(i), letter);
+          if (next.size() > options.max_states) {
+            overflow = true;
+            break;
+          }
+        } else {
+          next[static_cast<std::size_t>(it->second)].multiplicity +=
+              parent.multiplicity;
+        }
+        if (options.keep_levels) {
+          std::vector<int>& kids = children[i];
+          if (std::find(kids.begin(), kids.end(), it->second) == kids.end()) {
+            kids.push_back(it->second);
+          }
+        }
+      }
+    }
+
+    if (overflow) {
+      analysis.truncated = true;
+      break;
+    }
+    current = std::move(next);
+    reached_depth = s;
+    if (options.keep_levels) {
+      analysis.children.push_back(std::move(children));
+      analysis.levels.push_back(current);
+      analysis.first_parent.push_back(std::move(next_parent));
+    }
+  }
+  analysis.depth = reached_depth;
+  if (!options.keep_levels) {
+    analysis.levels.push_back(current);
+  }
+
+  // ---- Components.
+  const std::vector<PrefixState>& leaves = analysis.levels.back();
+  UnionFind uf(leaves.size());
+  if (options.topology == AdjacencyTopology::kMin) {
+    // Minimum topology: union leaves sharing any process's view id.
+    for (int p = 0; p < n; ++p) {
+      std::unordered_map<ViewId, int> first_leaf;
+      for (std::size_t i = 0; i < leaves.size(); ++i) {
+        const ViewId id = leaves[i].views[static_cast<std::size_t>(p)];
+        const auto [it, inserted] =
+            first_leaf.try_emplace(id, static_cast<int>(i));
+        if (!inserted) uf.unite(it->second, static_cast<int>(i));
+      }
+    }
+  } else {
+    // P-view topology: union leaves with equal JOINT P-views (the exact
+    // tuple of member views is the map key).
+    assert(options.pview_set != 0);
+    std::map<std::vector<ViewId>, int> first_leaf;
+    std::vector<ViewId> tuple;
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      tuple.clear();
+      NodeMask rest = options.pview_set & full_mask(n);
+      while (rest != 0) {
+        const int p = std::countr_zero(rest);
+        rest &= rest - 1;
+        tuple.push_back(leaves[i].views[static_cast<std::size_t>(p)]);
+      }
+      const auto [it, inserted] =
+          first_leaf.try_emplace(tuple, static_cast<int>(i));
+      if (!inserted) uf.unite(it->second, static_cast<int>(i));
+    }
+  }
+  analysis.leaf_component = uf.component_ids();
+  const int num_components = uf.num_sets();
+
+  // ---- Component summaries.
+  analysis.components.assign(static_cast<std::size_t>(num_components),
+                             ComponentInfo{});
+  // Per component, per process: first seen input value (-1 = none yet) and
+  // whether it stayed uniform.
+  std::vector<std::vector<Value>> first_input(
+      static_cast<std::size_t>(num_components),
+      std::vector<Value>(static_cast<std::size_t>(n), -1));
+  std::vector<NodeMask> nonuniform(static_cast<std::size_t>(num_components),
+                                   0);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    const PrefixState& leaf = leaves[i];
+    const auto c = static_cast<std::size_t>(analysis.leaf_component[i]);
+    ComponentInfo& info = analysis.components[c];
+    if (info.num_leaves == 0) {
+      info.common_broadcast = full_mask(n);
+      info.common_input_values = ~std::uint32_t{0};
+    }
+    info.num_leaves += 1;
+    const Value v = uniform_value(leaf.inputs);
+    if (v >= 0) info.valence_mask |= 1u << v;
+    std::uint32_t present = 0;
+    for (const Value x : leaf.inputs) {
+      present |= 1u << x;
+    }
+    info.common_input_values &= present;
+    info.common_broadcast &= broadcast_complete(leaf.reach);
+    for (int p = 0; p < n; ++p) {
+      Value& seen = first_input[c][static_cast<std::size_t>(p)];
+      const Value x = leaf.inputs[static_cast<std::size_t>(p)];
+      if (seen < 0) {
+        seen = x;
+      } else if (seen != x) {
+        nonuniform[c] |= NodeMask{1} << p;
+      }
+    }
+  }
+
+  analysis.valence_separated = true;
+  analysis.merged_components = 0;
+  analysis.valent_broadcastable = true;
+  analysis.strong_assignable = true;
+  for (std::size_t c = 0; c < analysis.components.size(); ++c) {
+    ComponentInfo& info = analysis.components[c];
+    info.broadcasters = info.common_broadcast & ~nonuniform[c];
+    if (info.num_valences() >= 2) {
+      analysis.valence_separated = false;
+      ++analysis.merged_components;
+      info.assigned_value = -1;
+      info.assigned_value_strong = -1;
+    } else if (info.valence_mask != 0) {
+      info.assigned_value = std::countr_zero(info.valence_mask);
+      // Strong validity must still decide the valence; feasible iff that
+      // value occurs in every leaf of the component.
+      info.assigned_value_strong =
+          (info.common_input_values & info.valence_mask) != 0
+              ? info.assigned_value
+              : -1;
+      if (info.broadcasters == 0) analysis.valent_broadcastable = false;
+    } else {
+      info.assigned_value = 0;  // meta-procedure step 3: default value
+      info.assigned_value_strong =
+          info.common_input_values != 0
+              ? std::countr_zero(info.common_input_values)
+              : -1;
+    }
+    if (info.assigned_value_strong < 0) analysis.strong_assignable = false;
+  }
+  analysis.strong_assignable &= analysis.valence_separated;
+  return analysis;
+}
+
+std::optional<RunPrefix> reconstruct_prefix(const MessageAdversary& adversary,
+                                            const DepthAnalysis& analysis,
+                                            int leaf_index) {
+  assert(!analysis.first_parent.empty() &&
+         "reconstruct_prefix requires keep_levels");
+  const std::size_t last = analysis.levels.size() - 1;
+  if (leaf_index < 0 ||
+      static_cast<std::size_t>(leaf_index) >= analysis.levels[last].size()) {
+    return std::nullopt;
+  }
+  std::vector<int> letters;
+  int index = leaf_index;
+  for (std::size_t s = last; s >= 1; --s) {
+    const auto [parent, letter] =
+        analysis.first_parent[s][static_cast<std::size_t>(index)];
+    letters.push_back(letter);
+    index = parent;
+  }
+  std::reverse(letters.begin(), letters.end());
+  RunPrefix prefix;
+  prefix.inputs = analysis.levels[last][static_cast<std::size_t>(leaf_index)]
+                      .inputs;
+  prefix.graphs.reserve(letters.size());
+  for (const int letter : letters) {
+    prefix.graphs.push_back(adversary.graph(letter));
+  }
+  return prefix;
+}
+
+}  // namespace topocon

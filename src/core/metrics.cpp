@@ -1,0 +1,134 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace topocon {
+
+namespace {
+
+double to_distance(int divergence) {
+  if (divergence == kNoDivergence) return 0.0;
+  return std::ldexp(1.0, -divergence);  // 2^-t
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- labelled
+
+int divergence_time(const LabelledExecution& a, const LabelledExecution& b,
+                    ProcessId p) {
+  const int horizon = std::min(a.length(), b.length());
+  for (int t = 0; t < horizon; ++t) {
+    if (a.states[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)] !=
+        b.states[static_cast<std::size_t>(t)][static_cast<std::size_t>(p)]) {
+      return t;
+    }
+  }
+  return kNoDivergence;
+}
+
+double d_process(const LabelledExecution& a, const LabelledExecution& b,
+                 ProcessId p) {
+  return to_distance(divergence_time(a, b, p));
+}
+
+double d_pset(const LabelledExecution& a, const LabelledExecution& b,
+              NodeMask pset) {
+  // The joint P-view differs as soon as any member's view differs, so
+  // d_P = max_{p in P} d_{p} (monotonicity, Theorem 4.3).
+  double result = 0.0;
+  NodeMask rest = pset;
+  while (rest != 0) {
+    const int p = std::countr_zero(rest);
+    rest &= rest - 1;
+    result = std::max(result, d_process(a, b, p));
+  }
+  return result;
+}
+
+double d_min(const LabelledExecution& a, const LabelledExecution& b) {
+  assert(a.num_processes() == b.num_processes());
+  double result = 1.0;
+  for (int p = 0; p < a.num_processes(); ++p) {
+    result = std::min(result, d_process(a, b, p));
+  }
+  return result;
+}
+
+double d_max(const LabelledExecution& a, const LabelledExecution& b) {
+  return d_pset(a, b, full_mask(a.num_processes()));
+}
+
+// ---------------------------------------------------------------- prefixes
+
+int divergence_time(ViewInterner& interner, const RunPrefix& a,
+                    const RunPrefix& b, ProcessId p) {
+  assert(a.num_processes() == b.num_processes());
+  const int horizon = std::min(a.length(), b.length());
+  ViewVector va = interner.initial(a.inputs);
+  ViewVector vb = interner.initial(b.inputs);
+  const auto pi = static_cast<std::size_t>(p);
+  if (va[pi] != vb[pi]) return 0;
+  for (int t = 1; t <= horizon; ++t) {
+    va = interner.advance(va, a.graphs[static_cast<std::size_t>(t - 1)]);
+    vb = interner.advance(vb, b.graphs[static_cast<std::size_t>(t - 1)]);
+    if (va[pi] != vb[pi]) return t;
+  }
+  return kNoDivergence;
+}
+
+double d_process(ViewInterner& interner, const RunPrefix& a,
+                 const RunPrefix& b, ProcessId p) {
+  return to_distance(divergence_time(interner, a, b, p));
+}
+
+double d_pset(ViewInterner& interner, const RunPrefix& a, const RunPrefix& b,
+              NodeMask pset) {
+  double result = 0.0;
+  NodeMask rest = pset;
+  while (rest != 0) {
+    const int p = std::countr_zero(rest);
+    rest &= rest - 1;
+    result = std::max(result, d_process(interner, a, b, p));
+  }
+  return result;
+}
+
+double d_min(ViewInterner& interner, const RunPrefix& a, const RunPrefix& b) {
+  double result = 1.0;
+  for (int p = 0; p < a.num_processes(); ++p) {
+    result = std::min(result, d_process(interner, a, b, p));
+  }
+  return result;
+}
+
+double d_max(ViewInterner& interner, const RunPrefix& a, const RunPrefix& b) {
+  return d_pset(interner, a, b, full_mask(a.num_processes()));
+}
+
+double diameter_min(ViewInterner& interner,
+                    const std::vector<RunPrefix>& prefixes) {
+  double diameter = 0.0;
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    for (std::size_t j = i + 1; j < prefixes.size(); ++j) {
+      diameter = std::max(diameter, d_min(interner, prefixes[i], prefixes[j]));
+    }
+  }
+  return diameter;
+}
+
+double distance_min(ViewInterner& interner, const std::vector<RunPrefix>& a,
+                    const std::vector<RunPrefix>& b) {
+  double distance = 1.0;
+  for (const RunPrefix& pa : a) {
+    for (const RunPrefix& pb : b) {
+      distance = std::min(distance, d_min(interner, pa, pb));
+    }
+  }
+  return distance;
+}
+
+}  // namespace topocon

@@ -1,0 +1,91 @@
+// The paper's distance functions (Section 4).
+//
+// On configuration sequences C^w, the P-view pseudo-metric is
+//     d_P(a, b) = 2^{-inf{ t >= 0 : V_P(a^t) != V_P(b^t) }}
+// (Theorem 4.4), the minimum pseudo-semi-metric is
+//     d_min(a, b) = min_p d_{p}(a, b)
+// (Section 4.2, Lemma 4.8), and d_[n] coincides with the classic
+// Alpern-Schneider common-prefix metric d_max (Theorem 4.3).
+//
+// Two instantiations are provided:
+//  * LabelledExecution -- abstract configuration sequences (each process has
+//    an opaque local state per time step). This matches Figure 3 and is used
+//    to validate the metric laws of Theorem 4.3 directly.
+//  * RunPrefix -- process-time-graph prefixes; views are the causal cones of
+//    Section 3, compared via interned ids. Distances computed on length-T
+//    prefixes are exact whenever they are >= 2^-T; otherwise the prefixes
+//    are indistinguishable up to the horizon and 0 is returned (the infimum
+//    over the unseen future is unknowable from a prefix).
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "ptg/prefix.hpp"
+#include "ptg/view_intern.hpp"
+
+namespace topocon {
+
+/// Sentinel for "no divergence within the common horizon".
+inline constexpr int kNoDivergence = -1;
+
+// -------------------------------------------------------------------------
+// Abstract configuration sequences (Figure 3 style).
+
+/// states[t][p] = opaque local state of process p at time t.
+struct LabelledExecution {
+  std::vector<std::vector<int>> states;
+
+  int num_processes() const {
+    return states.empty() ? 0 : static_cast<int>(states.front().size());
+  }
+  int length() const { return static_cast<int>(states.size()); }
+};
+
+/// First time the {p}-views differ, or kNoDivergence.
+int divergence_time(const LabelledExecution& a, const LabelledExecution& b,
+                    ProcessId p);
+
+/// d_{p}; 0 if no divergence within the horizon.
+double d_process(const LabelledExecution& a, const LabelledExecution& b,
+                 ProcessId p);
+
+/// d_P for a set of processes: first time the joint P-view differs.
+double d_pset(const LabelledExecution& a, const LabelledExecution& b,
+              NodeMask pset);
+
+/// d_min = min_p d_{p} (Lemma 4.8).
+double d_min(const LabelledExecution& a, const LabelledExecution& b);
+
+/// d_max = d_[n], the common-prefix metric (Theorem 4.3, last item).
+double d_max(const LabelledExecution& a, const LabelledExecution& b);
+
+// -------------------------------------------------------------------------
+// Process-time-graph prefixes (Section 3 views).
+
+/// First t in [0, min(len_a, len_b)] with V_p(a^t) != V_p(b^t), else
+/// kNoDivergence. Both prefixes must use `interner` for all their views.
+int divergence_time(ViewInterner& interner, const RunPrefix& a,
+                    const RunPrefix& b, ProcessId p);
+
+double d_process(ViewInterner& interner, const RunPrefix& a,
+                 const RunPrefix& b, ProcessId p);
+
+double d_pset(ViewInterner& interner, const RunPrefix& a, const RunPrefix& b,
+              NodeMask pset);
+
+double d_min(ViewInterner& interner, const RunPrefix& a, const RunPrefix& b);
+
+double d_max(ViewInterner& interner, const RunPrefix& a, const RunPrefix& b);
+
+/// Diameter sup{d(a,b)} of a finite set of prefixes under d_min
+/// (Definition 5.7).
+double diameter_min(ViewInterner& interner,
+                    const std::vector<RunPrefix>& prefixes);
+
+/// Set distance inf{d(a,b)} under d_min (Definition 5.12 analogue).
+double distance_min(ViewInterner& interner,
+                    const std::vector<RunPrefix>& a,
+                    const std::vector<RunPrefix>& b);
+
+}  // namespace topocon

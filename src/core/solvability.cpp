@@ -1,0 +1,72 @@
+#include "core/solvability.hpp"
+
+#include <memory>
+
+namespace topocon {
+
+const char* to_string(SolvabilityVerdict verdict) {
+  switch (verdict) {
+    case SolvabilityVerdict::kSolvable: return "SOLVABLE";
+    case SolvabilityVerdict::kNotSeparated: return "NOT-SEPARATED";
+    case SolvabilityVerdict::kResourceLimit: return "RESOURCE-LIMIT";
+  }
+  return "?";
+}
+
+SolvabilityResult check_solvability(const MessageAdversary& adversary,
+                                    const SolvabilityOptions& options) {
+  SolvabilityResult result;
+  result.closure_only = !adversary.is_compact();
+  auto interner = std::make_shared<ViewInterner>();
+
+  for (int depth = 1; depth <= options.max_depth; ++depth) {
+    AnalysisOptions analysis_options;
+    analysis_options.depth = depth;
+    analysis_options.num_values = options.num_values;
+    analysis_options.max_states = options.max_states;
+    analysis_options.keep_levels = false;  // cheap pass first
+    DepthAnalysis cheap = analyze_depth(adversary, analysis_options, interner);
+    if (cheap.truncated) {
+      result.verdict = SolvabilityVerdict::kResourceLimit;
+      result.analysis = std::move(cheap);
+      return result;
+    }
+
+    DepthStats stats;
+    stats.depth = depth;
+    stats.num_leaf_classes = cheap.leaves().size();
+    stats.num_components = static_cast<int>(cheap.components.size());
+    stats.merged_components = cheap.merged_components;
+    stats.separated = cheap.valence_separated;
+    stats.valent_broadcastable = cheap.valent_broadcastable;
+    stats.strong_assignable = cheap.strong_assignable;
+    stats.interner_views = interner->size();
+    result.per_depth.push_back(stats);
+
+    const bool certified =
+        cheap.valence_separated &&
+        (!options.require_broadcastable || cheap.valent_broadcastable) &&
+        (!options.strong_validity || cheap.strong_assignable);
+    if (certified) {
+      result.verdict = SolvabilityVerdict::kSolvable;
+      result.certified_depth = depth;
+      if (options.build_table) {
+        analysis_options.keep_levels = true;
+        DepthAnalysis full =
+            analyze_depth(adversary, analysis_options, interner);
+        result.table = DecisionTable::build(full, options.strong_validity);
+        result.analysis = std::move(full);
+      } else {
+        result.analysis = std::move(cheap);
+      }
+      return result;
+    }
+    if (depth == options.max_depth) {
+      result.analysis = std::move(cheap);
+    }
+  }
+  result.verdict = SolvabilityVerdict::kNotSeparated;
+  return result;
+}
+
+}  // namespace topocon

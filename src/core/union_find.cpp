@@ -1,0 +1,49 @@
+#include "core/union_find.hpp"
+
+#include <numeric>
+
+namespace topocon {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), size_(n, 1), num_sets_(static_cast<int>(n)) {
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+int UnionFind::find(int x) {
+  while (parent_[static_cast<std::size_t>(x)] != x) {
+    parent_[static_cast<std::size_t>(x)] =
+        parent_[static_cast<std::size_t>(
+            parent_[static_cast<std::size_t>(x)])];
+    x = parent_[static_cast<std::size_t>(x)];
+  }
+  return x;
+}
+
+bool UnionFind::unite(int a, int b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[static_cast<std::size_t>(a)] < size_[static_cast<std::size_t>(b)]) {
+    std::swap(a, b);
+  }
+  parent_[static_cast<std::size_t>(b)] = a;
+  size_[static_cast<std::size_t>(a)] += size_[static_cast<std::size_t>(b)];
+  --num_sets_;
+  return true;
+}
+
+std::vector<int> UnionFind::component_ids() {
+  std::vector<int> ids(parent_.size(), -1);
+  std::vector<int> root_to_id(parent_.size(), -1);
+  int next = 0;
+  for (std::size_t x = 0; x < parent_.size(); ++x) {
+    const int root = find(static_cast<int>(x));
+    if (root_to_id[static_cast<std::size_t>(root)] < 0) {
+      root_to_id[static_cast<std::size_t>(root)] = next++;
+    }
+    ids[x] = root_to_id[static_cast<std::size_t>(root)];
+  }
+  return ids;
+}
+
+}  // namespace topocon

@@ -1,0 +1,31 @@
+// Disjoint-set forest with path halving and union by size.
+#pragma once
+
+#include <vector>
+
+namespace topocon {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  /// Representative of x's set.
+  int find(int x);
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool unite(int a, int b);
+
+  std::size_t size() const { return parent_.size(); }
+  int num_sets() const { return num_sets_; }
+
+  /// Renumbers sets densely: result[x] = component id in [0, num_sets).
+  /// Ids are ordered by first occurrence.
+  std::vector<int> component_ids();
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+  int num_sets_;
+};
+
+}  // namespace topocon

@@ -1,0 +1,104 @@
+#include "graph/digraph.hpp"
+
+#include <bit>
+#include <cassert>
+#include <sstream>
+
+namespace topocon {
+
+Digraph::Digraph(int n) : n_(n), in_(static_cast<std::size_t>(n)) {
+  assert(n >= 1 && n <= kMaxProcesses);
+  for (int q = 0; q < n; ++q) {
+    in_[static_cast<std::size_t>(q)] = NodeMask{1} << q;
+  }
+}
+
+Digraph Digraph::complete(int n) {
+  Digraph g(n);
+  for (int q = 0; q < n; ++q) {
+    g.in_[static_cast<std::size_t>(q)] = full_mask(n);
+  }
+  return g;
+}
+
+Digraph Digraph::empty(int n) { return Digraph(n); }
+
+Digraph Digraph::from_edges(
+    int n, std::initializer_list<std::pair<ProcessId, ProcessId>> edges) {
+  Digraph g(n);
+  for (const auto& [p, q] : edges) {
+    g.add_edge(p, q);
+  }
+  return g;
+}
+
+Digraph Digraph::decode(int n, std::uint64_t key) {
+  assert(n * n <= 64);
+  Digraph g(n);
+  for (int q = 0; q < n; ++q) {
+    const auto row =
+        static_cast<NodeMask>((key >> (q * n)) & full_mask(n));
+    g.in_[static_cast<std::size_t>(q)] = row | (NodeMask{1} << q);
+  }
+  return g;
+}
+
+void Digraph::add_edge(ProcessId p, ProcessId q) {
+  assert(p >= 0 && p < n_ && q >= 0 && q < n_);
+  in_[static_cast<std::size_t>(q)] |= NodeMask{1} << p;
+}
+
+void Digraph::remove_edge(ProcessId p, ProcessId q) {
+  assert(p >= 0 && p < n_ && q >= 0 && q < n_);
+  if (p == q) return;  // self-loops are permanent
+  in_[static_cast<std::size_t>(q)] &= ~(NodeMask{1} << p);
+}
+
+NodeMask Digraph::out_mask(ProcessId p) const {
+  NodeMask out = 0;
+  for (int q = 0; q < n_; ++q) {
+    if (has_edge(p, q)) out |= NodeMask{1} << q;
+  }
+  return out;
+}
+
+int Digraph::num_edges() const {
+  int count = 0;
+  for (int q = 0; q < n_; ++q) {
+    count += std::popcount(in_[static_cast<std::size_t>(q)]);
+  }
+  return count;
+}
+
+int Digraph::num_omissions() const {
+  return n_ * n_ - num_edges();  // complete has n*n edges incl. loops
+}
+
+std::uint64_t Digraph::encode() const {
+  assert(n_ * n_ <= 64);
+  std::uint64_t key = 0;
+  for (int q = 0; q < n_; ++q) {
+    key |= static_cast<std::uint64_t>(in_[static_cast<std::size_t>(q)])
+           << (q * n_);
+  }
+  return key;
+}
+
+std::string Digraph::to_string() const {
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (int p = 0; p < n_; ++p) {
+    for (int q = 0; q < n_; ++q) {
+      if (p != q && has_edge(p, q)) {
+        if (!first) out << ", ";
+        out << p << "->" << q;
+        first = false;
+      }
+    }
+  }
+  out << '}';
+  return out.str();
+}
+
+}  // namespace topocon

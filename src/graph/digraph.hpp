@@ -1,0 +1,123 @@
+// Directed communication graphs on the process set [n] = {0, ..., n-1}.
+//
+// A communication graph determines one round of message delivery in a
+// synchronous dynamic network (paper, Section 2): process q receives the
+// round-t message of process p iff (p, q) is an edge of the round-t graph.
+//
+// Representation: one in-neighbour bitmask per node, which makes the two
+// operations the rest of the library performs constantly -- "who did q hear
+// from this round?" and "are two in-neighbourhoods equal?" -- O(1).
+//
+// Self-loops. Following the standard message-adversary convention, every
+// process always receives its own message, i.e., all graphs carry all
+// self-loops. This is load-bearing for the topology layer: it makes local
+// views cumulative over time (V_p(a^t) is recoverable from V_p(a^{t+1})),
+// which in turn makes the process-view distances of Section 4 behave as the
+// paper assumes. Construction APIs therefore insert self-loops by default;
+// tests cover the invariant.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace topocon {
+
+/// Process identifier in [0, n).
+using ProcessId = int;
+
+/// Bitmask over the process set; bit p set means process p is a member.
+using NodeMask = std::uint32_t;
+
+/// Maximum number of processes supported by the bitmask representation.
+inline constexpr int kMaxProcesses = 16;
+
+/// Returns the mask containing all of [0, n).
+constexpr NodeMask full_mask(int n) {
+  return static_cast<NodeMask>((1u << n) - 1u);
+}
+
+/// Returns true if process p is a member of mask m.
+constexpr bool mask_contains(NodeMask m, ProcessId p) {
+  return (m >> p) & 1u;
+}
+
+/// A directed graph on [n] with mandatory self-loops, stored as per-node
+/// in-neighbour bitmasks.
+class Digraph {
+ public:
+  /// Constructs the graph with only self-loops on n nodes.
+  explicit Digraph(int n);
+
+  /// The graph with every edge present (including self-loops).
+  static Digraph complete(int n);
+
+  /// The graph with only self-loops; alias of the constructor, for intent.
+  static Digraph empty(int n);
+
+  /// Builds a graph from an edge list (self-loops added automatically).
+  static Digraph from_edges(
+      int n, std::initializer_list<std::pair<ProcessId, ProcessId>> edges);
+
+  /// Reconstructs a graph from its encode() key.
+  static Digraph decode(int n, std::uint64_t key);
+
+  int num_processes() const { return n_; }
+
+  /// True iff q receives p's message under this graph.
+  bool has_edge(ProcessId p, ProcessId q) const {
+    return mask_contains(in_[static_cast<std::size_t>(q)], p);
+  }
+
+  /// Adds edge (p, q). Adding a self-loop is a no-op (always present).
+  void add_edge(ProcessId p, ProcessId q);
+
+  /// Removes edge (p, q). Self-loops cannot be removed; attempting to is a
+  /// no-op, preserving the library-wide invariant.
+  void remove_edge(ProcessId p, ProcessId q);
+
+  /// The senders q hears from in this round (always contains q itself).
+  NodeMask in_mask(ProcessId q) const {
+    return in_[static_cast<std::size_t>(q)];
+  }
+
+  /// The receivers of p's message (always contains p itself). O(n).
+  NodeMask out_mask(ProcessId p) const;
+
+  /// Number of edges, self-loops included.
+  int num_edges() const;
+
+  /// Number of absent off-diagonal edges ("omissions" w.r.t. complete).
+  int num_omissions() const;
+
+  /// Canonical 64-bit key: row q occupies bits [q*n, (q+1)*n). Requires
+  /// n*n <= 64, i.e., n <= 8; asserted. Used for hashing and dense tables.
+  std::uint64_t encode() const;
+
+  /// Human-readable edge list such as "{0->1, 1->0}" (self-loops omitted).
+  std::string to_string() const;
+
+  friend bool operator==(const Digraph& a, const Digraph& b) {
+    return a.n_ == b.n_ && a.in_ == b.in_;
+  }
+
+ private:
+  int n_;
+  std::vector<NodeMask> in_;
+};
+
+}  // namespace topocon
+
+template <>
+struct std::hash<topocon::Digraph> {
+  std::size_t operator()(const topocon::Digraph& g) const noexcept {
+    std::size_t h = std::hash<int>{}(g.num_processes());
+    for (int q = 0; q < g.num_processes(); ++q) {
+      h = h * 1000003u + g.in_mask(q);
+    }
+    return h;
+  }
+};

@@ -1,0 +1,57 @@
+#include "graph/dynamic.hpp"
+
+#include "graph/scc.hpp"
+
+namespace topocon {
+
+namespace {
+
+// know[q] = mask of processes whose initial value q holds.
+std::vector<NodeMask> initial_knowledge(int n) {
+  std::vector<NodeMask> know(static_cast<std::size_t>(n));
+  for (int q = 0; q < n; ++q) {
+    know[static_cast<std::size_t>(q)] = NodeMask{1} << q;
+  }
+  return know;
+}
+
+}  // namespace
+
+int broadcast_time(const std::vector<Digraph>& graphs, ProcessId p) {
+  if (graphs.empty()) return -1;
+  const int n = graphs.front().num_processes();
+  std::vector<NodeMask> know = initial_knowledge(n);
+  for (std::size_t t = 0; t < graphs.size(); ++t) {
+    know = propagate(graphs[t], know);
+    bool all = true;
+    for (int q = 0; q < n; ++q) {
+      if (!mask_contains(know[static_cast<std::size_t>(q)], p)) all = false;
+    }
+    if (all) return static_cast<int>(t) + 1;
+  }
+  return -1;
+}
+
+int dynamic_diameter(const std::vector<Digraph>& graphs) {
+  if (graphs.empty()) return -1;
+  const int n = graphs.front().num_processes();
+  int worst = -1;
+  for (int p = 0; p < n; ++p) {
+    const int time = broadcast_time(graphs, p);
+    if (time < 0) return -1;
+    if (time > worst) worst = time;
+  }
+  return worst;
+}
+
+NodeMask broadcasters_within(const std::vector<Digraph>& graphs) {
+  if (graphs.empty()) return 0;
+  const int n = graphs.front().num_processes();
+  NodeMask result = 0;
+  for (int p = 0; p < n; ++p) {
+    if (broadcast_time(graphs, p) >= 0) result |= NodeMask{1} << p;
+  }
+  return result;
+}
+
+}  // namespace topocon

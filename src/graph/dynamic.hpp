@@ -1,0 +1,24 @@
+// Dynamic-graph measures over finite graph sequences: broadcast times and
+// the dynamic diameter, the quantities the VSSC literature's stability
+// thresholds (D+1 in [23]) are phrased in.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace topocon {
+
+/// First round t (1-based) by which every process knows p's initial
+/// value under the given graph sequence, or -1 if that never happens
+/// within the sequence.
+int broadcast_time(const std::vector<Digraph>& graphs, ProcessId p);
+
+/// First round by which everyone knows everyone's initial value
+/// (max over broadcast_time of the processes), or -1.
+int dynamic_diameter(const std::vector<Digraph>& graphs);
+
+/// Mask of processes that complete a broadcast within the sequence.
+NodeMask broadcasters_within(const std::vector<Digraph>& graphs);
+
+}  // namespace topocon

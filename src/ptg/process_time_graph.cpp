@@ -1,0 +1,133 @@
+#include "ptg/process_time_graph.hpp"
+
+#include <bit>
+#include <cassert>
+#include <sstream>
+
+namespace topocon {
+
+ProcessTimeGraph::ProcessTimeGraph(const RunPrefix& prefix)
+    : n_(prefix.num_processes()),
+      depth_(prefix.length()),
+      inputs_(prefix.inputs) {
+  in_masks_.reserve(static_cast<std::size_t>(depth_));
+  for (const Digraph& g : prefix.graphs) {
+    assert(g.num_processes() == n_);
+    std::vector<NodeMask> row(static_cast<std::size_t>(n_));
+    for (int q = 0; q < n_; ++q) {
+      row[static_cast<std::size_t>(q)] = g.in_mask(q);
+    }
+    in_masks_.push_back(std::move(row));
+  }
+}
+
+NodeMask ProcessTimeGraph::in_mask(ProcessId q, int t) const {
+  assert(t >= 1 && t <= depth_);
+  return in_masks_[static_cast<std::size_t>(t - 1)]
+                  [static_cast<std::size_t>(q)];
+}
+
+std::vector<NodeMask> ProcessTimeGraph::view_nodes(ProcessId p, int t) const {
+  assert(t >= 0 && t <= depth_);
+  std::vector<NodeMask> cone(static_cast<std::size_t>(t) + 1, 0);
+  cone[static_cast<std::size_t>(t)] = NodeMask{1} << p;
+  for (int s = t; s >= 1; --s) {
+    NodeMask level = cone[static_cast<std::size_t>(s)];
+    NodeMask below = 0;
+    while (level != 0) {
+      const int q = std::countr_zero(level);
+      level &= level - 1;
+      below |= in_mask(q, s);
+    }
+    cone[static_cast<std::size_t>(s - 1)] = below;
+  }
+  return cone;
+}
+
+bool ProcessTimeGraph::views_equal(const ProcessTimeGraph& a, ProcessId pa,
+                                   const ProcessTimeGraph& b, ProcessId pb,
+                                   int t) {
+  if (pa != pb) return false;  // cone apices (pa, t) and (pb, t) differ
+  const std::vector<NodeMask> ca = a.view_nodes(pa, t);
+  const std::vector<NodeMask> cb = b.view_nodes(pb, t);
+  if (ca != cb) return false;
+  // Same node sets; compare induced edges level by level and input labels.
+  for (int s = 1; s <= t; ++s) {
+    NodeMask level = ca[static_cast<std::size_t>(s)];
+    while (level != 0) {
+      const int q = std::countr_zero(level);
+      level &= level - 1;
+      // All in-edges of an included node lie inside the cone by closure,
+      // so the induced edge sets are equal iff the full masks are.
+      if (a.in_mask(q, s) != b.in_mask(q, s)) return false;
+    }
+  }
+  NodeMask level0 = ca[0];
+  while (level0 != 0) {
+    const int q = std::countr_zero(level0);
+    level0 &= level0 - 1;
+    if (a.input(q) != b.input(q)) return false;
+  }
+  return true;
+}
+
+std::string ProcessTimeGraph::to_string() const {
+  std::ostringstream out;
+  for (int p = 0; p < n_; ++p) {
+    out << '(' << p + 1 << ", 0, " << input(p) << ")  ";
+  }
+  out << '\n';
+  for (int t = 1; t <= depth_; ++t) {
+    for (int q = 0; q < n_; ++q) {
+      out << '(' << q + 1 << ", " << t << ")  senders:{";
+      NodeMask mask = in_mask(q, t);
+      bool first = true;
+      while (mask != 0) {
+        const int p = std::countr_zero(mask);
+        mask &= mask - 1;
+        if (!first) out << ',';
+        out << p + 1;
+        first = false;
+      }
+      out << "}  ";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string ProcessTimeGraph::to_dot(ProcessId highlight) const {
+  const std::vector<NodeMask> cone = view_nodes(highlight, depth_);
+  std::ostringstream out;
+  out << "digraph PT {\n  rankdir=BT;\n";
+  for (int t = 0; t <= depth_; ++t) {
+    for (int p = 0; p < n_; ++p) {
+      out << "  n" << p << "_" << t << " [label=\"(" << p + 1 << "," << t;
+      if (t == 0) out << "," << input(p);
+      out << ")\"";
+      if (mask_contains(cone[static_cast<std::size_t>(t)], p)) {
+        out << ", penwidth=3, color=green";
+      }
+      out << "];\n";
+    }
+  }
+  for (int t = 1; t <= depth_; ++t) {
+    for (int q = 0; q < n_; ++q) {
+      NodeMask mask = in_mask(q, t);
+      while (mask != 0) {
+        const int p = std::countr_zero(mask);
+        mask &= mask - 1;
+        out << "  n" << p << "_" << t - 1 << " -> n" << q << "_" << t;
+        if (mask_contains(cone[static_cast<std::size_t>(t)], q) &&
+            mask_contains(cone[static_cast<std::size_t>(t - 1)], p)) {
+          out << " [penwidth=3, color=green]";
+        }
+        out << ";\n";
+      }
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace topocon

@@ -1,0 +1,74 @@
+// Explicit process-time graphs (paper, Section 3 and Figure 2).
+//
+// PT^t contains a node (p, 0, x_p) for every process and nodes (p, s) for
+// 1 <= s <= t, with an edge (p, s-1) -> (q, s) iff (p, q) is an edge of the
+// round-s communication graph. The *view* of process p at time t is the
+// sub-DAG induced by every node with a directed path to (p, t).
+//
+// This explicit representation is used for illustration (the Figure 2
+// reproduction), for the paper-faithful definition of views, and as the
+// ground truth against which the O(1)-comparison interned views of
+// view_intern.hpp are cross-validated in tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "ptg/prefix.hpp"
+
+namespace topocon {
+
+/// A node (process, time); input values are stored separately for time 0.
+struct PtNode {
+  ProcessId process = 0;
+  int time = 0;
+  friend bool operator==(const PtNode&, const PtNode&) = default;
+  friend auto operator<=>(const PtNode&, const PtNode&) = default;
+};
+
+/// Explicit process-time graph of a finite run prefix.
+class ProcessTimeGraph {
+ public:
+  /// Builds PT^t for t = prefix.length().
+  explicit ProcessTimeGraph(const RunPrefix& prefix);
+
+  int num_processes() const { return n_; }
+  int depth() const { return depth_; }
+
+  /// Input value at node (p, 0).
+  Value input(ProcessId p) const {
+    return inputs_[static_cast<std::size_t>(p)];
+  }
+
+  /// Senders with an edge (s, t-1) -> (q, t); t in [1, depth()].
+  NodeMask in_mask(ProcessId q, int t) const;
+
+  /// The causal cone of (p, t): for each time s in [0, t], the mask of
+  /// processes q such that (q, s) has a path to (p, t). Entry [s] of the
+  /// result. The cone always contains (p, t) itself.
+  std::vector<NodeMask> view_nodes(ProcessId p, int t) const;
+
+  /// Paper-faithful view equality: cones equal as labelled sub-DAGs
+  /// (same node sets, same edges among them, same input labels).
+  /// The compared graphs may come from different prefixes.
+  static bool views_equal(const ProcessTimeGraph& a, ProcessId pa,
+                          const ProcessTimeGraph& b, ProcessId pb, int t);
+
+  /// Multi-line rendering of the graph (nodes per time level plus edges),
+  /// used by the Figure 2 reproduction.
+  std::string to_string() const;
+
+  /// Graphviz dot output; the view of `highlight` at time depth() is bold,
+  /// mirroring the highlighted view of Figure 2.
+  std::string to_dot(ProcessId highlight) const;
+
+ private:
+  int n_;
+  int depth_;
+  InputVector inputs_;
+  // in_masks_[t-1][q] = senders of (q, t) from time t-1.
+  std::vector<std::vector<NodeMask>> in_masks_;
+};
+
+}  // namespace topocon

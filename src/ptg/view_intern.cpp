@@ -1,0 +1,80 @@
+#include "ptg/view_intern.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace topocon {
+
+ViewId ViewInterner::base(ProcessId p, Value x) {
+  assert(p >= 0 && x >= 0);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(p) << 32) | static_cast<std::uint32_t>(x);
+  const auto [it, inserted] =
+      base_table_.try_emplace(key, static_cast<ViewId>(nodes_.size()));
+  if (inserted) {
+    Node node;
+    node.process = p;
+    node.depth = 0;
+    node.input = x;
+    nodes_.push_back(std::move(node));
+  }
+  return it->second;
+}
+
+ViewId ViewInterner::step(ProcessId q, NodeMask mask,
+                          const std::vector<ViewId>& sender_ids) {
+  assert(mask_contains(mask, q));  // self-loop invariant
+  assert(std::popcount(mask) == static_cast<int>(sender_ids.size()));
+  StepKey key{q, mask, sender_ids};
+  const auto it = step_table_.find(key);
+  if (it != step_table_.end()) return it->second;
+  const auto id = static_cast<ViewId>(nodes_.size());
+  Node node;
+  node.process = q;
+  // Depth = sender depth + 1; the self-loop guarantees q itself appears
+  // among the senders, so every step node has depth >= 1.
+  node.depth =
+      nodes_[static_cast<std::size_t>(sender_ids.front())].depth + 1;
+  node.mask = mask;
+  node.senders = sender_ids;
+  step_table_.emplace(std::move(key), id);
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+ViewVector ViewInterner::initial(const InputVector& inputs) {
+  ViewVector views(inputs.size());
+  for (std::size_t p = 0; p < inputs.size(); ++p) {
+    views[p] = base(static_cast<ProcessId>(p), inputs[p]);
+  }
+  return views;
+}
+
+ViewVector ViewInterner::advance(const ViewVector& views, const Digraph& g) {
+  const int n = g.num_processes();
+  assert(static_cast<std::size_t>(n) == views.size());
+  ViewVector next(views.size());
+  std::vector<ViewId> senders;
+  for (int q = 0; q < n; ++q) {
+    const NodeMask mask = g.in_mask(q);
+    senders.clear();
+    NodeMask rest = mask;
+    while (rest != 0) {
+      const int p = std::countr_zero(rest);
+      rest &= rest - 1;
+      senders.push_back(views[static_cast<std::size_t>(p)]);
+    }
+    next[static_cast<std::size_t>(q)] = step(q, mask, senders);
+  }
+  return next;
+}
+
+ViewVector ViewInterner::of_prefix(const RunPrefix& prefix) {
+  ViewVector views = initial(prefix.inputs);
+  for (const Digraph& g : prefix.graphs) {
+    views = advance(views, g);
+  }
+  return views;
+}
+
+}  // namespace topocon

@@ -1,0 +1,109 @@
+// Exact hash-consing of process views V_p(a^t).
+//
+// The view of process p at time t in a run a (paper, Definition 4.1 applied
+// to process-time graphs) is the causal cone of the node (p, t): the sub-DAG
+// of the process-time graph induced by all nodes with a path to (p, t),
+// including the input values at the time-0 nodes. Because process-time-graph
+// nodes carry explicit identities (q, s), two views are "the same view" iff
+// they are *equal* as labelled graphs -- not merely isomorphic.
+//
+// This module assigns a small integer ViewId to every distinct view via
+// structural interning:
+//
+//   base(p, x)                 <-> the cone of (p, 0) with input x
+//   step(q, M, ids)            <-> the cone of (q, t); M is q's round-t
+//                                  in-neighbour mask and ids are the cone
+//                                  ids of the senders at time t-1, listed in
+//                                  increasing process order.
+//
+// Invariant (proved by induction on t, and cross-checked against explicit
+// process-time graphs in tests/ptg_test.cpp): for runs a, b and any process
+// p,   id of V_p(a^t) == id of V_p(b^t)  <=>  V_p(a^t) = V_p(b^t).
+//
+// Consequently the process-view pseudo-metric of Section 4.1 becomes
+//   d_{p}(a, b) = 2^{-min{ t : id_p(a, t) != id_p(b, t) }},
+// computable in O(1) per round per process, and the minimum distance d_min
+// (Section 4.2) is the min over p. Since all communication graphs contain
+// self-loops, every cone at time t contains the sender chain of its own
+// process, so ids at different depths never coincide and views are
+// cumulative: equality at time t implies equality at all s <= t.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "ptg/prefix.hpp"
+
+namespace topocon {
+
+/// Identifier of an interned view. Ids are dense, starting at 0.
+using ViewId = std::int32_t;
+
+/// The views of all processes at a common time, indexed by process id.
+using ViewVector = std::vector<ViewId>;
+
+/// Structural interner for process views. Not thread-safe; one instance is
+/// shared by an analysis and any simulations replaying its decision tables.
+class ViewInterner {
+ public:
+  ViewInterner() = default;
+
+  /// Id of the time-0 view of process p with input value x.
+  ViewId base(ProcessId p, Value x);
+
+  /// Id of the time-t view of process q whose round-t in-mask is `mask` and
+  /// whose senders' time-(t-1) views are `sender_ids` (increasing process
+  /// order, one entry per bit of mask).
+  ViewId step(ProcessId q, NodeMask mask, const std::vector<ViewId>& sender_ids);
+
+  /// Views of all processes at time 0 for the given inputs.
+  ViewVector initial(const InputVector& inputs);
+
+  /// Advances all views by one round under communication graph g.
+  ViewVector advance(const ViewVector& views, const Digraph& g);
+
+  /// Views of all processes at time prefix.length() (applies advance along
+  /// the whole prefix).
+  ViewVector of_prefix(const RunPrefix& prefix);
+
+  /// Total number of distinct views interned so far.
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Metadata of an interned view (for reconstruction, debugging, tests).
+  struct Node {
+    ProcessId process = -1;
+    int depth = 0;          // time t of the cone's apex (q, t)
+    Value input = -1;       // input value, for depth-0 nodes only
+    NodeMask mask = 0;      // round-t in-mask, for depth > 0
+    std::vector<ViewId> senders;  // cone ids of senders at t-1, mask order
+  };
+  const Node& node(ViewId id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+
+ private:
+  struct StepKey {
+    ProcessId q;
+    NodeMask mask;
+    std::vector<ViewId> senders;
+    bool operator==(const StepKey&) const = default;
+  };
+  struct StepKeyHash {
+    std::size_t operator()(const StepKey& k) const noexcept {
+      std::size_t h = static_cast<std::size_t>(k.q) * 0x9e3779b97f4a7c15ull;
+      h ^= k.mask + 0x9e3779b9u + (h << 6) + (h >> 2);
+      for (const ViewId id : k.senders) {
+        h ^= static_cast<std::size_t>(id) + 0x9e3779b9u + (h << 6) + (h >> 2);
+      }
+      return h;
+    }
+  };
+
+  std::unordered_map<std::uint64_t, ViewId> base_table_;
+  std::unordered_map<StepKey, ViewId, StepKeyHash> step_table_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace topocon

@@ -1,0 +1,90 @@
+// Consensus under the finite-loss adversary (Section 6.3 flagship):
+// "decide process 0's input once you know that everyone knows it."
+//
+// Each process tracks (a) process 0's input value, once learned, and
+// (b) the set K of processes it knows to know that value; both are
+// piggybacked on every message and merged monotonically. A process decides
+// when K covers all processes.
+//
+// Correctness under the finite-loss adversary (proved in DESIGN.md terms,
+// verified by property tests):
+//  * Termination: eventually every round is the complete graph, so x_0
+//    floods to everyone, then the K-sets flood and reach [n] everywhere.
+//  * Agreement: every decision equals x_0.
+//  * Validity: if all inputs are v then x_0 = v.
+// Under the *closure* (infinitely many losses allowed) termination fails --
+// exactly the non-compactness gap the paper's Section 6.3 is about, and
+// part of bench E7.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "runtime/simulator.hpp"
+
+namespace topocon {
+
+class AckConsensus {
+ public:
+  struct State {
+    ProcessId pid = 0;
+    int n = 0;
+    std::optional<Value> value0;  // x_0 once known
+    NodeMask knowers = 0;         // processes known to know x_0
+    std::optional<Value> decided;
+  };
+  struct Message {
+    std::optional<Value> value0;
+    NodeMask knowers = 0;
+  };
+
+  explicit AckConsensus(int n) : n_(n) {}
+
+  State init(ProcessId p, Value input) const {
+    State state;
+    state.pid = p;
+    state.n = n_;
+    if (p == 0) {
+      state.value0 = input;
+      state.knowers = NodeMask{1};
+    }
+    maybe_decide(state);
+    return state;
+  }
+
+  Message message(const State& state) const {
+    return Message{state.value0, state.knowers};
+  }
+
+  void step(State& state, int round,
+            const std::vector<std::optional<Message>>& received) const {
+    (void)round;
+    for (const auto& msg : received) {
+      if (!msg.has_value()) continue;
+      if (msg->value0.has_value() && !state.value0.has_value()) {
+        state.value0 = msg->value0;
+      }
+      state.knowers |= msg->knowers;
+    }
+    if (state.value0.has_value()) {
+      state.knowers |= NodeMask{1} << state.pid;
+    }
+    maybe_decide(state);
+  }
+
+  std::optional<Value> decision(const State& state) const {
+    return state.decided;
+  }
+
+ private:
+  void maybe_decide(State& state) const {
+    if (!state.decided.has_value() && state.knowers == full_mask(state.n)) {
+      state.decided = state.value0;
+    }
+  }
+
+  int n_;
+};
+
+}  // namespace topocon

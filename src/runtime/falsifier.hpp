@@ -1,0 +1,85 @@
+// Adversarial falsification: search for admissible executions on which an
+// algorithm violates the consensus specification. Complements the
+// exhaustive replays in tests (which are bounded by alphabet^depth) with
+// (a) exhaustive search at small depth and (b) randomized search at large
+// depth -- failure injection for algorithms whose correctness envelope is
+// being probed (e.g. FloodMin beyond the Santoro-Widmayer threshold).
+#pragma once
+
+#include <optional>
+#include <random>
+#include <string>
+
+#include "adversary/adversary.hpp"
+#include "adversary/sampler.hpp"
+#include "runtime/simulator.hpp"
+#include "runtime/verify.hpp"
+
+namespace topocon {
+
+struct Falsification {
+  RunPrefix prefix;
+  ConsensusCheck check;
+  std::string what;  // which property broke
+};
+
+struct FalsifierOptions {
+  /// Exhaustive phase: all admissible letter sequences up to this length
+  /// (alphabet^length sequences; keep small).
+  int exhaustive_depth = 0;
+  /// Randomized phase: number of sampled runs and their horizon.
+  int random_runs = 1000;
+  int random_horizon = 8;
+  /// Check agreement/validity only (set false when the horizon is shorter
+  /// than the algorithm's termination guarantee).
+  bool require_termination = false;
+  unsigned seed = 1;
+};
+
+/// Searches for a violating execution of `algo` under `adversary`.
+/// Returns the first violation found, or nullopt. Agreement and validity
+/// violations are always reported; termination violations only when
+/// options.require_termination.
+template <class Algo>
+std::optional<Falsification> falsify(const MessageAdversary& adversary,
+                                     const Algo& algo,
+                                     const FalsifierOptions& options) {
+  const int n = adversary.num_processes();
+  auto violates = [&](const RunPrefix& prefix)
+      -> std::optional<Falsification> {
+    const ConsensusOutcome outcome = simulate(algo, prefix);
+    const ConsensusCheck check = check_consensus(outcome, prefix.inputs);
+    if (!check.agreement) {
+      return Falsification{prefix, check, "agreement"};
+    }
+    if (!check.validity) {
+      return Falsification{prefix, check, "validity"};
+    }
+    if (options.require_termination && !check.termination) {
+      return Falsification{prefix, check, "termination"};
+    }
+    return std::nullopt;
+  };
+
+  if (options.exhaustive_depth > 0) {
+    for (const auto& letters :
+         enumerate_letter_sequences(adversary, options.exhaustive_depth)) {
+      for (const InputVector& inputs : all_input_vectors(n, 2)) {
+        RunPrefix prefix;
+        prefix.inputs = inputs;
+        prefix.graphs = letters_to_graphs(adversary, letters);
+        if (auto hit = violates(prefix)) return hit;
+      }
+    }
+  }
+  std::mt19937_64 rng(options.seed);
+  for (int trial = 0; trial < options.random_runs; ++trial) {
+    const InputVector inputs = sample_inputs(n, 2, rng);
+    const RunPrefix prefix =
+        sample_prefix(adversary, inputs, options.random_horizon, rng);
+    if (auto hit = violates(prefix)) return hit;
+  }
+  return std::nullopt;
+}
+
+}  // namespace topocon

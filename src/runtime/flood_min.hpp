@@ -1,0 +1,63 @@
+// Min-input flooding with a fixed decision round: the classic baseline
+// algorithm in the style of Schmid-Weiss-Keidar [22] for omission
+// adversaries with at most f <= n-2 omissions per round.
+//
+// Every process floods the smallest input value it has seen and decides it
+// after `decision_round` rounds. With at most n-2 omissions per round, the
+// set of processes knowing the global minimum gains at least one member
+// per round (the cut between knowers and non-knowers has >= n-1 edges),
+// so decision_round = n-1 suffices. With f = n-1 the adversary can isolate
+// the minimum's holder forever and the algorithm loses agreement -- the
+// negative control in tests and bench E5.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "runtime/simulator.hpp"
+
+namespace topocon {
+
+class FloodMinAlgorithm {
+ public:
+  struct State {
+    Value min_seen = 0;
+    int round = 0;
+    std::optional<Value> decided;
+  };
+  using Message = Value;
+
+  explicit FloodMinAlgorithm(int decision_round)
+      : decision_round_(decision_round) {}
+
+  State init(ProcessId p, Value input) const {
+    (void)p;
+    State state;
+    state.min_seen = input;
+    if (decision_round_ == 0) state.decided = input;
+    return state;
+  }
+
+  Message message(const State& state) const { return state.min_seen; }
+
+  void step(State& state, int round,
+            const std::vector<std::optional<Message>>& received) const {
+    for (const auto& msg : received) {
+      if (msg.has_value()) state.min_seen = std::min(state.min_seen, *msg);
+    }
+    state.round = round;
+    if (!state.decided.has_value() && round >= decision_round_) {
+      state.decided = state.min_seen;
+    }
+  }
+
+  std::optional<Value> decision(const State& state) const {
+    return state.decided;
+  }
+
+ private:
+  int decision_round_;
+};
+
+}  // namespace topocon

@@ -1,0 +1,57 @@
+// The full-information protocol: every process relays its entire causal
+// past each round. With views hash-consed by ViewInterner, a local state is
+// a single ViewId and a message is the sender's ViewId -- the compiled form
+// of "forward your whole view" that the paper's universal algorithm
+// (Theorem 5.5) builds on.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ptg/view_intern.hpp"
+#include "runtime/simulator.hpp"
+
+namespace topocon {
+
+class FullInfoAlgorithm {
+ public:
+  struct State {
+    ProcessId pid = 0;
+    ViewId view = -1;
+  };
+  using Message = ViewId;
+
+  /// The interner is shared and extended during simulation.
+  explicit FullInfoAlgorithm(std::shared_ptr<ViewInterner> interner)
+      : interner_(std::move(interner)) {}
+
+  State init(ProcessId p, Value input) const {
+    return State{p, interner_->base(p, input)};
+  }
+
+  Message message(const State& state) const { return state.view; }
+
+  void step(State& state, int round,
+            const std::vector<std::optional<Message>>& received) const {
+    (void)round;
+    NodeMask mask = 0;
+    std::vector<ViewId> senders;
+    for (std::size_t s = 0; s < received.size(); ++s) {
+      if (received[s].has_value()) {
+        mask |= NodeMask{1} << s;
+        senders.push_back(*received[s]);
+      }
+    }
+    state.view = interner_->step(state.pid, mask, senders);
+  }
+
+  std::optional<Value> decision(const State&) const { return std::nullopt; }
+
+  const std::shared_ptr<ViewInterner>& interner() const { return interner_; }
+
+ private:
+  std::shared_ptr<ViewInterner> interner_;
+};
+
+}  // namespace topocon

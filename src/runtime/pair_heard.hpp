@@ -1,0 +1,48 @@
+// Hand-written consensus for the two-process lossy link over {<-, ->}
+// (the CGP-solvable pair [8]) -- the classic one-round rule:
+//
+//   if you received the other process's round-1 message, decide its input;
+//   otherwise decide your own.
+//
+// Exactly one direction is delivered per round, so exactly one process
+// hears the other: the hearer adopts the silent process's input, the
+// silent process keeps its own -- agreement in one round. This is the
+// human-readable counterpart of the decision table the checker extracts
+// (tests verify both make identical decisions on every admissible run),
+// and a baseline for the universal algorithm's generality.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "runtime/simulator.hpp"
+
+namespace topocon {
+
+class PairHeardAlgorithm {
+ public:
+  struct State {
+    ProcessId pid = 0;
+    Value input = 0;
+    std::optional<Value> decided;
+  };
+  using Message = Value;
+
+  State init(ProcessId p, Value input) const { return State{p, input, {}}; }
+
+  Message message(const State& state) const { return state.input; }
+
+  void step(State& state, int round,
+            const std::vector<std::optional<Message>>& received) const {
+    if (round != 1 || state.decided.has_value()) return;
+    const std::size_t other = state.pid == 0 ? 1 : 0;
+    state.decided =
+        received[other].has_value() ? *received[other] : state.input;
+  }
+
+  std::optional<Value> decision(const State& state) const {
+    return state.decided;
+  }
+};
+
+}  // namespace topocon

@@ -1,0 +1,106 @@
+// Synchronous lock-step round simulator (paper, Section 2).
+//
+// Rounds proceed in send-receive-compute order: every process broadcasts
+// one message per round; the round's communication graph decides delivery
+// (q receives p's message iff (p, q) is an edge); then every process makes
+// a deterministic state transition on its received messages.
+//
+// Algorithms plug in through a compile-time concept:
+//
+//   struct Algo {
+//     using State = ...;     // local process state
+//     using Message = ...;   // broadcast payload
+//     State init(ProcessId p, Value input) const;
+//     Message message(const State&) const;                  // send phase
+//     void step(State&, int round,
+//               const std::vector<std::optional<Message>>& received) const;
+//     std::optional<Value> decision(const State&) const;    // after compute
+//   };
+//
+// `received[s]` is engaged iff the round graph delivers s -> p; the
+// self-loop invariant guarantees received[p] is always engaged for p.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ptg/prefix.hpp"
+
+namespace topocon {
+
+/// Outcome of simulating one algorithm over one run prefix.
+struct ConsensusOutcome {
+  std::vector<std::optional<Value>> decisions;  // per process
+  std::vector<int> decision_round;              // per process; -1 undecided
+  int rounds = 0;
+
+  bool all_decided() const {
+    for (const auto& d : decisions) {
+      if (!d.has_value()) return false;
+    }
+    return !decisions.empty();
+  }
+
+  /// Latest decision round, or -1 if someone is undecided.
+  int last_decision_round() const {
+    int last = -1;
+    for (std::size_t p = 0; p < decisions.size(); ++p) {
+      if (!decisions[p].has_value()) return -1;
+      if (decision_round[p] > last) last = decision_round[p];
+    }
+    return last;
+  }
+};
+
+/// Runs `algo` for prefix.length() rounds under the prefix's graphs.
+template <class Algo>
+ConsensusOutcome simulate(const Algo& algo, const RunPrefix& prefix) {
+  const int n = prefix.num_processes();
+  std::vector<typename Algo::State> states;
+  states.reserve(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    states.push_back(algo.init(p, prefix.inputs[static_cast<std::size_t>(p)]));
+  }
+
+  ConsensusOutcome outcome;
+  outcome.decisions.assign(static_cast<std::size_t>(n), std::nullopt);
+  outcome.decision_round.assign(static_cast<std::size_t>(n), -1);
+  outcome.rounds = prefix.length();
+
+  auto record = [&](int round) {
+    for (int p = 0; p < n; ++p) {
+      const auto pi = static_cast<std::size_t>(p);
+      if (outcome.decisions[pi].has_value()) continue;
+      if (auto v = algo.decision(states[pi]); v.has_value()) {
+        outcome.decisions[pi] = v;
+        outcome.decision_round[pi] = round;
+      }
+    }
+  };
+  record(0);
+
+  for (int t = 1; t <= prefix.length(); ++t) {
+    const Digraph& g = prefix.graphs[static_cast<std::size_t>(t - 1)];
+    std::vector<typename Algo::Message> sent;
+    sent.reserve(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p) {
+      sent.push_back(algo.message(states[static_cast<std::size_t>(p)]));
+    }
+    for (int q = 0; q < n; ++q) {
+      std::vector<std::optional<typename Algo::Message>> received(
+          static_cast<std::size_t>(n));
+      NodeMask senders = g.in_mask(q);
+      for (int s = 0; s < n; ++s) {
+        if (mask_contains(senders, s)) {
+          received[static_cast<std::size_t>(s)] =
+              sent[static_cast<std::size_t>(s)];
+        }
+      }
+      algo.step(states[static_cast<std::size_t>(q)], t, received);
+    }
+    record(t);
+  }
+  return outcome;
+}
+
+}  // namespace topocon

@@ -1,0 +1,84 @@
+// Execution tracing: run an algorithm while recording, per round, the
+// communication graph, per-process knowledge (reach masks), and decision
+// events; render the trace as a round-by-round text timeline. Debugging
+// and teaching aid used by the examples.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ptg/reach.hpp"
+#include "runtime/simulator.hpp"
+
+namespace topocon {
+
+struct RoundTrace {
+  int round = 0;
+  std::string graph;                    // edge list
+  ReachVector reach;                    // knowledge after the round
+  std::vector<int> decided_this_round;  // process ids
+  std::vector<Value> decision_values;   // parallel to decided_this_round
+};
+
+struct ExecutionTrace {
+  RunPrefix prefix;
+  ConsensusOutcome outcome;
+  std::vector<RoundTrace> rounds;
+
+  std::string to_string() const {
+    std::ostringstream out;
+    out << "inputs: " << prefix.to_string() << "\n";
+    for (const RoundTrace& r : rounds) {
+      out << "round " << r.round << "  " << r.graph << "  knows:";
+      for (std::size_t q = 0; q < r.reach.size(); ++q) {
+        out << " p" << q + 1 << "={";
+        NodeMask rest = r.reach[q];
+        bool first = true;
+        for (int p = 0; rest != 0; ++p, rest >>= 1) {
+          if (rest & 1u) {
+            if (!first) out << ',';
+            out << p + 1;
+            first = false;
+          }
+        }
+        out << "}";
+      }
+      for (std::size_t i = 0; i < r.decided_this_round.size(); ++i) {
+        out << "  [p" << r.decided_this_round[i] + 1 << " decides "
+            << r.decision_values[i] << "]";
+      }
+      out << "\n";
+    }
+    return out.str();
+  }
+};
+
+/// Simulates with tracing. Produces the same outcome as simulate()
+/// (checked by tests) plus the per-round timeline.
+template <class Algo>
+ExecutionTrace trace_execution(const Algo& algo, const RunPrefix& prefix) {
+  ExecutionTrace trace;
+  trace.prefix = prefix;
+  trace.outcome = simulate(algo, prefix);
+
+  ReachVector reach = initial_reach(prefix.num_processes());
+  for (int t = 1; t <= prefix.length(); ++t) {
+    const Digraph& g = prefix.graphs[static_cast<std::size_t>(t - 1)];
+    reach = advance_reach(reach, g);
+    RoundTrace round;
+    round.round = t;
+    round.graph = g.to_string();
+    round.reach = reach;
+    for (std::size_t p = 0; p < trace.outcome.decisions.size(); ++p) {
+      if (trace.outcome.decision_round[p] == t) {
+        round.decided_this_round.push_back(static_cast<int>(p));
+        round.decision_values.push_back(*trace.outcome.decisions[p]);
+      }
+    }
+    trace.rounds.push_back(std::move(round));
+  }
+  return trace;
+}
+
+}  // namespace topocon

@@ -1,0 +1,58 @@
+// Executable form of the paper's universal consensus algorithm
+// (Theorem 5.5): full information plus the precomputed decision table.
+//
+// Process p decides value v at the end of round s as soon as the decision
+// table certifies that every admissible sequence compatible with p's
+// current view lies in the decision set PS(v) -- the "ball of radius 2^-s
+// around the local view is contained in PS(v)" rule, made finite by the
+// depth-t epsilon-approximation. Every process is guaranteed to decide by
+// round t = table.depth() on every admissible sequence.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/decision_table.hpp"
+#include "runtime/full_info.hpp"
+
+namespace topocon {
+
+class UniversalAlgorithm {
+ public:
+  struct State {
+    FullInfoAlgorithm::State info;
+    std::optional<Value> decided;
+  };
+  using Message = ViewId;
+
+  explicit UniversalAlgorithm(const DecisionTable& table)
+      : table_(&table), full_info_(table.interner()) {}
+
+  State init(ProcessId p, Value input) const {
+    State state{full_info_.init(p, input), std::nullopt};
+    state.decided = table_->decide(0, p, state.info.view);
+    return state;
+  }
+
+  Message message(const State& state) const {
+    return full_info_.message(state.info);
+  }
+
+  void step(State& state, int round,
+            const std::vector<std::optional<Message>>& received) const {
+    full_info_.step(state.info, round, received);
+    if (!state.decided.has_value()) {
+      state.decided = table_->decide(round, state.info.pid, state.info.view);
+    }
+  }
+
+  std::optional<Value> decision(const State& state) const {
+    return state.decided;
+  }
+
+ private:
+  const DecisionTable* table_;
+  FullInfoAlgorithm full_info_;
+};
+
+}  // namespace topocon

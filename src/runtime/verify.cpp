@@ -1,0 +1,53 @@
+#include "runtime/verify.hpp"
+
+#include <sstream>
+
+namespace topocon {
+
+ConsensusCheck check_consensus(const ConsensusOutcome& outcome,
+                               const InputVector& inputs) {
+  ConsensusCheck check;
+  std::ostringstream detail;
+
+  check.termination = outcome.all_decided();
+  if (!check.termination) detail << "undecided process; ";
+
+  check.agreement = true;
+  Value decided = -1;
+  for (const auto& d : outcome.decisions) {
+    if (!d.has_value()) continue;
+    if (decided < 0) {
+      decided = *d;
+    } else if (*d != decided) {
+      check.agreement = false;
+      detail << "decisions disagree; ";
+      break;
+    }
+  }
+
+  check.validity = true;
+  const Value uniform = uniform_value(inputs);
+  if (uniform >= 0 && decided >= 0 && decided != uniform) {
+    check.validity = false;
+    detail << "validity violated (all inputs " << uniform << ", decided "
+           << decided << "); ";
+  }
+
+  check.strong_validity = true;
+  if (decided >= 0) {
+    bool found = false;
+    for (const Value x : inputs) {
+      if (x == decided) found = true;
+    }
+    if (!found) {
+      check.strong_validity = false;
+      detail << "strong validity violated (decided " << decided
+             << " is no process's input); ";
+    }
+  }
+
+  check.detail = detail.str();
+  return check;
+}
+
+}  // namespace topocon

@@ -1,0 +1,29 @@
+// Checking the consensus specification (Definition 5.1) on simulation
+// outcomes: Termination, Agreement, Validity.
+#pragma once
+
+#include <string>
+
+#include "runtime/simulator.hpp"
+
+namespace topocon {
+
+struct ConsensusCheck {
+  bool termination = false;
+  bool agreement = false;
+  bool validity = false;
+  /// Strong validity: every decision value is some process's input.
+  bool strong_validity = false;
+  std::string detail;  // human-readable failure description, empty if ok
+
+  bool ok() const { return termination && agreement && validity; }
+  bool ok_strong() const { return ok() && strong_validity; }
+};
+
+/// Validates an outcome against the inputs it ran with. Termination here
+/// means "all decided within the simulated horizon"; pass the horizon that
+/// the adversary/algorithm pair is supposed to guarantee.
+ConsensusCheck check_consensus(const ConsensusOutcome& outcome,
+                               const InputVector& inputs);
+
+}  // namespace topocon

@@ -1,0 +1,139 @@
+#include "runtime/vssc_algo.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "graph/scc.hpp"
+
+namespace topocon {
+
+void VsscKnowledge::ensure_rounds(int rounds) {
+  if (static_cast<int>(inmasks.size()) < rounds) {
+    inmasks.resize(static_cast<std::size_t>(rounds),
+                   std::vector<int>(inputs.size(), -1));
+  }
+}
+
+void VsscKnowledge::merge(const VsscKnowledge& other) {
+  assert(inputs.size() == other.inputs.size());
+  for (std::size_t p = 0; p < inputs.size(); ++p) {
+    if (inputs[p] < 0) inputs[p] = other.inputs[p];
+  }
+  ensure_rounds(static_cast<int>(other.inmasks.size()));
+  for (std::size_t t = 0; t < other.inmasks.size(); ++t) {
+    for (std::size_t p = 0; p < inputs.size(); ++p) {
+      if (inmasks[t][p] < 0) inmasks[t][p] = other.inmasks[t][p];
+    }
+  }
+}
+
+VsscConsensus::VsscConsensus(int n, int window)
+    : n_(n), window_(window > 0 ? window : 2 * n) {}
+
+VsscConsensus::State VsscConsensus::init(ProcessId p, Value input) const {
+  State state;
+  state.pid = p;
+  state.knowledge.inputs.assign(static_cast<std::size_t>(n_), -1);
+  state.knowledge.inputs[static_cast<std::size_t>(p)] = input;
+  return state;
+}
+
+void VsscConsensus::step(
+    State& state, int round,
+    const std::vector<std::optional<Message>>& received) const {
+  // Observe my own in-neighbourhood of this round, then merge what the
+  // senders knew at the end of the previous round.
+  NodeMask observed = 0;
+  for (std::size_t s = 0; s < received.size(); ++s) {
+    if (received[s].has_value()) observed |= NodeMask{1} << s;
+  }
+  state.knowledge.ensure_rounds(round);
+  state.knowledge.inmasks[static_cast<std::size_t>(round - 1)]
+                         [static_cast<std::size_t>(state.pid)] =
+      static_cast<int>(observed);
+  for (const auto& msg : received) {
+    if (msg.has_value()) state.knowledge.merge(*msg);
+  }
+  maybe_decide(state);
+}
+
+NodeMask VsscConsensus::verified_root(const VsscKnowledge& k, int t) const {
+  if (t < 1 || t > static_cast<int>(k.inmasks.size())) return 0;
+  const std::vector<int>& masks = k.inmasks[static_cast<std::size_t>(t - 1)];
+  // Build the partial graph of known in-edges; nodes with unknown masks
+  // cannot belong to a verified root.
+  Digraph g(n_);
+  NodeMask known = 0;
+  for (int q = 0; q < n_; ++q) {
+    if (masks[static_cast<std::size_t>(q)] < 0) continue;
+    known |= NodeMask{1} << q;
+    NodeMask senders =
+        static_cast<NodeMask>(masks[static_cast<std::size_t>(q)]);
+    while (senders != 0) {
+      const int p = std::countr_zero(senders);
+      senders &= senders - 1;
+      g.add_edge(p, q);
+    }
+  }
+  if (known == 0) return 0;
+  const SccDecomposition scc = strongly_connected_components(g);
+  for (int c = 0; c < scc.num_components; ++c) {
+    const NodeMask members = scc.members[static_cast<std::size_t>(c)];
+    if ((members & known) != members) continue;  // some mask unknown
+    // No member may have an in-edge from outside (true masks are known for
+    // all members, so this verifies actual rootness).
+    bool closed = true;
+    NodeMask rest = members;
+    while (rest != 0 && closed) {
+      const int q = std::countr_zero(rest);
+      rest &= rest - 1;
+      const auto mask =
+          static_cast<NodeMask>(masks[static_cast<std::size_t>(q)]);
+      if ((mask & ~members) != 0) closed = false;
+    }
+    if (!closed) continue;
+    // Strongly connected and closed under known (= true) in-edges: this is
+    // the unique root component of round t.
+    return members;
+  }
+  return 0;
+}
+
+void VsscConsensus::maybe_decide(State& state) const {
+  if (state.decided.has_value()) return;
+  const int rounds = static_cast<int>(state.knowledge.inmasks.size());
+  int run_length = 0;
+  NodeMask current = 0;
+  for (int t = 1; t <= rounds; ++t) {
+    const NodeMask root = verified_root(state.knowledge, t);
+    if (root != 0 && root == current) {
+      ++run_length;
+    } else {
+      current = root;
+      run_length = root != 0 ? 1 : 0;
+    }
+    if (run_length >= window_ && current != 0) {
+      // Decide min input over the stable root, once all inputs are known.
+      Value best = -1;
+      NodeMask rest = current;
+      bool all_known = true;
+      while (rest != 0) {
+        const int s = std::countr_zero(rest);
+        rest &= rest - 1;
+        const Value x = state.knowledge.inputs[static_cast<std::size_t>(s)];
+        if (x < 0) {
+          all_known = false;
+          break;
+        }
+        if (best < 0 || x < best) best = x;
+      }
+      if (all_known) {
+        state.decided = best;
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace topocon

@@ -1,0 +1,86 @@
+// Consensus under the eventually-stabilizing VSSC adversary (Section 6.3,
+// [6, 23]): decide on the minimum input of a verified vertex-stable root
+// component.
+//
+// Every process runs full information over *structured* knowledge: which
+// input values it has learned, and which per-round in-neighbourhoods of the
+// process-time graph it has learned (its own are observed directly; others
+// arrive by message merging). From the known in-masks a process can
+// *verify* that a set S was the root component of every round in a window:
+// S must be strongly connected under the known edges and no known member
+// may have an in-edge from outside S; since every graph of the VSSC
+// alphabet is rooted (unique root component), a verified root is the true
+// root.
+//
+// Decision rule: decide min{ x_s : s in S } for the first verified stable
+// window of length >= `window` (= 2n by default) whose members' inputs are
+// all known.
+//
+// Correctness requires the adversary to guarantee (as the library's
+// VsscAdversary sampler does, mirroring the "short-lived stability
+// elsewhere" regime of [23]):
+//  (a) some stable window of length >= 3n occurs (termination: during the
+//      guaranteed window every (s, t) node of root members floods to all
+//      processes within n-1 rounds, so everyone verifies a 2n-sub-window
+//      and knows the members' inputs before the window ends), and
+//  (b) no other window reaches length 2n (agreement: all verified 2n-
+//      windows are sub-windows of the guaranteed one, hence share S and
+//      the decision value).
+// Both conditions, and the resulting T/A/V, are exercised by property
+// tests; bench E8 sweeps the stability parameter.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "ptg/prefix.hpp"
+#include "runtime/simulator.hpp"
+
+namespace topocon {
+
+/// Mergeable causal knowledge: learned inputs and learned per-round
+/// in-neighbourhoods of the process-time graph.
+struct VsscKnowledge {
+  std::vector<Value> inputs;          // -1 = unknown
+  std::vector<std::vector<int>> inmasks;  // [t-1][p] = mask or -1
+
+  void ensure_rounds(int rounds);
+  void merge(const VsscKnowledge& other);
+};
+
+class VsscConsensus {
+ public:
+  struct State {
+    ProcessId pid = 0;
+    VsscKnowledge knowledge;
+    std::optional<Value> decided;
+  };
+  using Message = VsscKnowledge;
+
+  /// n = number of processes; window = required verified stability
+  /// (default 2n, matching the guarantees above).
+  explicit VsscConsensus(int n, int window = -1);
+
+  State init(ProcessId p, Value input) const;
+  Message message(const State& state) const { return state.knowledge; }
+  void step(State& state, int round,
+            const std::vector<std::optional<Message>>& received) const;
+  std::optional<Value> decision(const State& state) const {
+    return state.decided;
+  }
+
+  int window() const { return window_; }
+
+ private:
+  /// The verified root component of round t (1-based) given current
+  /// knowledge, or 0 if none is verifiable yet.
+  NodeMask verified_root(const VsscKnowledge& k, int t) const;
+
+  void maybe_decide(State& state) const;
+
+  int n_;
+  int window_;
+};
+
+}  // namespace topocon

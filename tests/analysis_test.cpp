@@ -1,0 +1,61 @@
+// Unit tests for the analysis helpers: literature oracles and the table
+// formatter used by every bench report.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "analysis/oracles.hpp"
+#include "analysis/report.hpp"
+
+namespace topocon {
+namespace {
+
+TEST(Oracles, LossyLinkTable) {
+  EXPECT_TRUE(lossy_link_solvable(0b001));
+  EXPECT_TRUE(lossy_link_solvable(0b010));
+  EXPECT_TRUE(lossy_link_solvable(0b100));
+  EXPECT_TRUE(lossy_link_solvable(0b011));
+  EXPECT_TRUE(lossy_link_solvable(0b101));
+  EXPECT_TRUE(lossy_link_solvable(0b110));
+  EXPECT_FALSE(lossy_link_solvable(0b111));
+}
+
+TEST(Oracles, OmissionThreshold) {
+  EXPECT_TRUE(omission_solvable(2, 0));
+  EXPECT_FALSE(omission_solvable(2, 1));
+  EXPECT_TRUE(omission_solvable(3, 1));
+  EXPECT_FALSE(omission_solvable(3, 2));
+  EXPECT_TRUE(omission_solvable(5, 3));
+  EXPECT_FALSE(omission_solvable(5, 4));
+}
+
+TEST(Oracles, VsscThreeValued) {
+  EXPECT_EQ(vssc_solvable(2, 1), std::optional<bool>(false));
+  EXPECT_EQ(vssc_solvable(3, 1), std::optional<bool>(false));
+  EXPECT_EQ(vssc_solvable(2, 6), std::optional<bool>(true));
+  EXPECT_EQ(vssc_solvable(3, 9), std::optional<bool>(true));
+  EXPECT_FALSE(vssc_solvable(3, 4).has_value());
+}
+
+TEST(Report, TableAlignsColumns) {
+  Table table({"a", "long-header"});
+  table.add_row({"xx", "y"});
+  table.add_row({"1"});  // short rows are padded
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| a  | long-header | "), std::string::npos);
+  EXPECT_NE(text.find("| xx | y           | "), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(text.find("|----"), std::string::npos);
+}
+
+TEST(Report, Formatters) {
+  EXPECT_EQ(fmt(0.5, 2), "0.50");
+  EXPECT_EQ(fmt(1.0 / 3.0, 3), "0.333");
+  EXPECT_EQ(yes_no(true), "yes");
+  EXPECT_EQ(yes_no(false), "no");
+}
+
+}  // namespace
+}  // namespace topocon

@@ -1,0 +1,104 @@
+// Tests for dynamic-graph measures: broadcast time, dynamic diameter, and
+// their classic bounds (a static rooted graph broadcasts from its root
+// within n-1 rounds; a stable rooted sequence has dynamic diameter <= n-1
+// from root members).
+#include <bit>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "graph/dynamic.hpp"
+#include "graph/enumerate.hpp"
+#include "graph/scc.hpp"
+#include "ptg/reach.hpp"
+
+namespace topocon {
+namespace {
+
+TEST(Dynamic, CompleteGraphBroadcastsInOneRound) {
+  const std::vector<Digraph> seq(3, Digraph::complete(3));
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_EQ(broadcast_time(seq, p), 1);
+  }
+  EXPECT_EQ(dynamic_diameter(seq), 1);
+  EXPECT_EQ(broadcasters_within(seq), full_mask(3));
+}
+
+TEST(Dynamic, EmptyGraphNeverBroadcasts) {
+  const std::vector<Digraph> seq(5, Digraph::empty(3));
+  EXPECT_EQ(broadcast_time(seq, 0), -1);
+  EXPECT_EQ(dynamic_diameter(seq), -1);
+  EXPECT_EQ(broadcasters_within(seq), NodeMask{0});
+}
+
+TEST(Dynamic, LineGraphTakesNMinusOneRounds) {
+  // 0 -> 1 -> 2 -> 3 held statically: 0 broadcasts in exactly 3 rounds.
+  const Digraph line =
+      Digraph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const std::vector<Digraph> seq(5, line);
+  EXPECT_EQ(broadcast_time(seq, 0), 3);
+  // Non-root processes never reach upstream nodes.
+  EXPECT_EQ(broadcast_time(seq, 1), -1);
+  EXPECT_EQ(broadcasters_within(seq), NodeMask{0b0001});
+}
+
+// Static rooted graphs: every root member broadcasts within n-1 rounds.
+TEST(Dynamic, StaticRootedBroadcastBound) {
+  for (const Digraph& g : rooted_graphs(3)) {
+    const std::vector<Digraph> seq(2, g);  // n-1 = 2 rounds
+    NodeMask roots = root_members(g);
+    while (roots != 0) {
+      const int p = std::countr_zero(roots);
+      roots &= roots - 1;
+      const int time = broadcast_time(seq, p);
+      EXPECT_GE(time, 1);
+      EXPECT_LE(time, 2) << g.to_string() << " p=" << p;
+    }
+  }
+}
+
+// Changing-but-commonly-rooted sequences: the common root member still
+// broadcasts within n-1 rounds (the flooding argument behind the VSSC
+// algorithm's window length).
+TEST(Dynamic, StableRootSequencesBroadcastWithinNMinusOne) {
+  std::mt19937_64 rng(12);
+  const auto rooted = rooted_graphs(3);
+  // Group by root set; pick sequences within one group.
+  for (int trial = 0; trial < 50; ++trial) {
+    const Digraph& first = rooted[rng() % rooted.size()];
+    const NodeMask root = root_members(first);
+    std::vector<Digraph> seq = {first};
+    while (seq.size() < 2) {
+      const Digraph& g = rooted[rng() % rooted.size()];
+      if (root_members(g) == root) seq.push_back(g);
+    }
+    NodeMask members = root;
+    while (members != 0) {
+      const int p = std::countr_zero(members);
+      members &= members - 1;
+      const int time = broadcast_time(seq, p);
+      EXPECT_GE(time, 1);
+      EXPECT_LE(time, 2);
+    }
+  }
+}
+
+// Consistency with the reach machinery used by the core analysis.
+TEST(Dynamic, AgreesWithReachMasks) {
+  std::mt19937_64 rng(9);
+  const auto graphs = all_graphs(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Digraph> seq;
+    for (int t = 0; t < 4; ++t) {
+      seq.push_back(graphs[rng() % graphs.size()]);
+    }
+    RunPrefix prefix;
+    prefix.inputs = {0, 0, 0};
+    prefix.graphs = seq;
+    const NodeMask complete = broadcast_complete(reach_of_prefix(prefix));
+    EXPECT_EQ(broadcasters_within(seq), complete);
+  }
+}
+
+}  // namespace
+}  // namespace topocon

@@ -1,0 +1,135 @@
+// Falsifier tests (failure injection): the search must find concrete
+// violating executions for algorithms run outside their correctness
+// envelope, and must find nothing for certified algorithms; plus
+// large-n simulation tests enabled by the explicit-alphabet adversary
+// constructors (beyond the enumeration limits of the checker).
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "adversary/finite_loss.hpp"
+#include "adversary/lossy_link.hpp"
+#include "adversary/omission.hpp"
+#include "adversary/vssc.hpp"
+#include "core/solvability.hpp"
+#include "runtime/ack_consensus.hpp"
+#include "runtime/falsifier.hpp"
+#include "runtime/flood_min.hpp"
+#include "runtime/universal_runner.hpp"
+#include "runtime/vssc_algo.hpp"
+
+namespace topocon {
+namespace {
+
+TEST(Falsifier, FindsFloodMinAgreementViolationAboveThreshold) {
+  // f = n-1 = 2 for n = 3: FloodMin(n-1) must break, and exhaustive
+  // search at the decision depth finds a concrete witness.
+  const auto ma = make_omission_adversary(3, 2);
+  const FloodMinAlgorithm algo(2);
+  FalsifierOptions options;
+  options.exhaustive_depth = 2;
+  options.random_runs = 0;
+  const auto hit = falsify(*ma, algo, options);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->what, "agreement");
+  EXPECT_FALSE(hit->check.agreement);
+}
+
+TEST(Falsifier, FindsNothingForFloodMinBelowThreshold) {
+  const auto ma = make_omission_adversary(3, 1);
+  const FloodMinAlgorithm algo(2);
+  FalsifierOptions options;
+  options.exhaustive_depth = 2;
+  options.random_runs = 500;
+  options.random_horizon = 6;
+  EXPECT_FALSE(falsify(*ma, algo, options).has_value());
+}
+
+TEST(Falsifier, FindsNothingForCertifiedUniversalAlgorithm) {
+  const auto ma = make_lossy_link(0b011);
+  const SolvabilityResult result = check_solvability(*ma);
+  ASSERT_TRUE(result.table.has_value());
+  const UniversalAlgorithm algo(*result.table);
+  FalsifierOptions options;
+  options.exhaustive_depth = 4;
+  options.random_runs = 500;
+  options.random_horizon = 10;
+  options.require_termination = true;  // horizon > certified depth
+  EXPECT_FALSE(falsify(*ma, algo, options).has_value());
+}
+
+TEST(Falsifier, FindsPrematureFloodMinDecision) {
+  // Deciding one round too early under omission f=1, n=3 loses agreement.
+  const auto ma = make_omission_adversary(3, 1);
+  const FloodMinAlgorithm premature(1);
+  FalsifierOptions options;
+  options.exhaustive_depth = 1;
+  options.random_runs = 0;
+  const auto hit = falsify(*ma, premature, options);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->what, "agreement");
+}
+
+// ------------------------------------------------------ large-n runtime
+
+std::vector<Digraph> star_alphabet(int n) {
+  std::vector<Digraph> graphs;
+  graphs.push_back(Digraph::complete(n));
+  for (int root = 0; root < n; ++root) {
+    Digraph g(n);
+    for (int q = 0; q < n; ++q) {
+      if (q != root) g.add_edge(root, q);
+    }
+    graphs.push_back(g);
+  }
+  return graphs;
+}
+
+TEST(LargeN, AckConsensusAtEightProcesses) {
+  const int n = 8;
+  std::vector<Digraph> alphabet = star_alphabet(n);
+  alphabet.push_back(Digraph::empty(n));
+  const FiniteLossAdversary ma(n, std::move(alphabet));
+  const AckConsensus algo(n);
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const InputVector inputs = sample_inputs(n, 2, rng);
+    const RunPrefix prefix = sample_prefix(ma, inputs, 24, rng);
+    const ConsensusCheck check =
+        check_consensus(simulate(algo, prefix), inputs);
+    ASSERT_TRUE(check.ok()) << check.detail;
+  }
+}
+
+TEST(LargeN, VsscAtSixProcesses) {
+  const int n = 6;
+  // Star alphabet without the complete graph: roots are the n singletons
+  // plus the full set for complete -- keep complete too (root = all).
+  const VsscAdversary ma(n, 3 * n, star_alphabet(n));
+  const VsscConsensus algo(n);
+  std::mt19937_64 rng(4);
+  int decided = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const InputVector inputs = sample_inputs(n, 2, rng);
+    const RunPrefix prefix = sample_prefix(ma, inputs, 6 * n, rng);
+    const ConsensusOutcome outcome = simulate(algo, prefix);
+    const ConsensusCheck check = check_consensus(outcome, inputs);
+    EXPECT_TRUE(check.agreement && check.validity) << check.detail;
+    decided += outcome.all_decided();
+  }
+  EXPECT_GE(decided, 25);
+}
+
+TEST(LargeN, FalsifierCleanOnAckAtEight) {
+  const int n = 8;
+  const FiniteLossAdversary ma(n, star_alphabet(n));
+  const AckConsensus algo(n);
+  FalsifierOptions options;
+  options.exhaustive_depth = 0;  // alphabet too large for exhaustion
+  options.random_runs = 300;
+  options.random_horizon = 20;
+  EXPECT_FALSE(falsify(ma, algo, options).has_value());
+}
+
+}  // namespace
+}  // namespace topocon

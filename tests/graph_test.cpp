@@ -1,0 +1,250 @@
+// Unit and property tests for the digraph substrate: construction
+// invariants, SCC decomposition, root components, broadcasters, knowledge
+// propagation, and the graph-family enumerators.
+#include <bit>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.hpp"
+#include "graph/enumerate.hpp"
+#include "graph/scc.hpp"
+
+namespace topocon {
+namespace {
+
+TEST(Digraph, SelfLoopsAlwaysPresent) {
+  Digraph g(3);
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_TRUE(g.has_edge(p, p));
+  }
+  g.remove_edge(1, 1);  // must be a no-op
+  EXPECT_TRUE(g.has_edge(1, 1));
+}
+
+TEST(Digraph, AddRemoveEdge) {
+  Digraph g(3);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  g.remove_edge(0, 1);
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Digraph, CompleteAndEmptyCounts) {
+  const Digraph complete = Digraph::complete(4);
+  EXPECT_EQ(complete.num_edges(), 16);
+  EXPECT_EQ(complete.num_omissions(), 0);
+  const Digraph empty = Digraph::empty(4);
+  EXPECT_EQ(empty.num_edges(), 4);  // self-loops only
+  EXPECT_EQ(empty.num_omissions(), 12);
+}
+
+TEST(Digraph, EncodeDecodeRoundTrip) {
+  std::mt19937_64 rng(7);
+  for (int n = 1; n <= 4; ++n) {
+    for (int trial = 0; trial < 50; ++trial) {
+      Digraph g(n);
+      for (int p = 0; p < n; ++p) {
+        for (int q = 0; q < n; ++q) {
+          if (p != q && (rng() & 1u)) g.add_edge(p, q);
+        }
+      }
+      EXPECT_EQ(Digraph::decode(n, g.encode()), g);
+    }
+  }
+}
+
+TEST(Digraph, InOutMasksConsistent) {
+  const Digraph g = Digraph::from_edges(3, {{0, 1}, {2, 1}, {1, 2}});
+  EXPECT_EQ(g.in_mask(1), NodeMask{0b111});
+  EXPECT_EQ(g.out_mask(0), NodeMask{0b011});
+  EXPECT_EQ(g.out_mask(2), NodeMask{0b110});
+}
+
+TEST(Digraph, ToStringListsOffDiagonalEdges) {
+  const Digraph g = Digraph::from_edges(2, {{0, 1}});
+  EXPECT_EQ(g.to_string(), "{0->1}");
+}
+
+// ---------------------------------------------------------------- SCC
+
+// Reference reachability by Floyd-Warshall on the edge relation.
+std::vector<NodeMask> reachability(const Digraph& g) {
+  const int n = g.num_processes();
+  std::vector<NodeMask> reach(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    reach[static_cast<std::size_t>(p)] = g.out_mask(p);
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (int p = 0; p < n; ++p) {
+      NodeMask acc = reach[static_cast<std::size_t>(p)];
+      NodeMask targets = acc;
+      while (targets != 0) {
+        const int q = std::countr_zero(targets);
+        targets &= targets - 1;
+        acc |= reach[static_cast<std::size_t>(q)];
+      }
+      if (acc != reach[static_cast<std::size_t>(p)]) {
+        reach[static_cast<std::size_t>(p)] = acc;
+        changed = true;
+      }
+    }
+  }
+  return reach;
+}
+
+TEST(Scc, MatchesReachabilityDefinitionOnAllGraphsN3) {
+  for (const Digraph& g : all_graphs(3)) {
+    const auto reach = reachability(g);
+    const SccDecomposition scc = strongly_connected_components(g);
+    for (int p = 0; p < 3; ++p) {
+      for (int q = 0; q < 3; ++q) {
+        const bool same_scc =
+            scc.comp[static_cast<std::size_t>(p)] ==
+            scc.comp[static_cast<std::size_t>(q)];
+        const bool mutually_reachable =
+            mask_contains(reach[static_cast<std::size_t>(p)], q) &&
+            mask_contains(reach[static_cast<std::size_t>(q)], p);
+        EXPECT_EQ(same_scc, mutually_reachable)
+            << g.to_string() << " p=" << p << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(Scc, MembersPartitionTheNodeSet) {
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 2 + static_cast<int>(rng() % 5);
+    Digraph g(n);
+    for (int p = 0; p < n; ++p) {
+      for (int q = 0; q < n; ++q) {
+        if (p != q && (rng() % 3u) == 0) g.add_edge(p, q);
+      }
+    }
+    const SccDecomposition scc = strongly_connected_components(g);
+    NodeMask all = 0;
+    int total = 0;
+    for (int c = 0; c < scc.num_components; ++c) {
+      EXPECT_EQ(all & scc.members[static_cast<std::size_t>(c)], NodeMask{0});
+      all |= scc.members[static_cast<std::size_t>(c)];
+      total += std::popcount(scc.members[static_cast<std::size_t>(c)]);
+    }
+    EXPECT_EQ(all, full_mask(n));
+    EXPECT_EQ(total, n);
+  }
+}
+
+TEST(Scc, BroadcastersAreExactlyNodesReachingEveryone) {
+  for (const Digraph& g : all_graphs(3)) {
+    const auto reach = reachability(g);
+    NodeMask expect = 0;
+    for (int p = 0; p < 3; ++p) {
+      if ((reach[static_cast<std::size_t>(p)] | (NodeMask{1} << p)) ==
+          full_mask(3)) {
+        expect |= NodeMask{1} << p;
+      }
+    }
+    EXPECT_EQ(broadcasters(g), expect) << g.to_string();
+  }
+}
+
+TEST(Scc, RootedIffSomeNodeReachesAll) {
+  for (const Digraph& g : all_graphs(3)) {
+    const auto reach = reachability(g);
+    bool some = false;
+    for (int p = 0; p < 3; ++p) {
+      if ((reach[static_cast<std::size_t>(p)] | (NodeMask{1} << p)) ==
+          full_mask(3)) {
+        some = true;
+      }
+    }
+    EXPECT_EQ(is_rooted(g), some) << g.to_string();
+  }
+}
+
+TEST(Scc, CompleteGraphSingleComponent) {
+  const SccDecomposition scc =
+      strongly_connected_components(Digraph::complete(5));
+  EXPECT_EQ(scc.num_components, 1);
+  EXPECT_TRUE(scc.is_root[0]);
+  EXPECT_EQ(scc.members[0], full_mask(5));
+}
+
+TEST(Scc, EmptyGraphAllSingletonRoots) {
+  const SccDecomposition scc =
+      strongly_connected_components(Digraph::empty(4));
+  EXPECT_EQ(scc.num_components, 4);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_TRUE(scc.is_root[static_cast<std::size_t>(c)]);
+  }
+}
+
+TEST(Scc, PropagateMatchesManualKnowledgeFlow) {
+  const Digraph g = Digraph::from_edges(3, {{0, 1}, {1, 2}});
+  std::vector<NodeMask> know = {0b001, 0b010, 0b100};
+  know = propagate(g, know);
+  EXPECT_EQ(know[0], NodeMask{0b001});
+  EXPECT_EQ(know[1], NodeMask{0b011});
+  EXPECT_EQ(know[2], NodeMask{0b110});
+  know = propagate(g, know);
+  EXPECT_EQ(know[2], NodeMask{0b111});
+}
+
+// ---------------------------------------------------------------- enum
+
+TEST(Enumerate, AllGraphsCountsAndUniqueness) {
+  EXPECT_EQ(all_graphs(2).size(), 4u);
+  const auto graphs3 = all_graphs(3);
+  EXPECT_EQ(graphs3.size(), 64u);
+  for (std::size_t i = 0; i < graphs3.size(); ++i) {
+    for (std::size_t j = i + 1; j < graphs3.size(); ++j) {
+      EXPECT_FALSE(graphs3[i] == graphs3[j]);
+    }
+  }
+}
+
+TEST(Enumerate, OmissionBudgetRespected) {
+  for (int f = 0; f <= 6; ++f) {
+    for (const Digraph& g : graphs_with_max_omissions(3, f)) {
+      EXPECT_LE(g.num_omissions(), f);
+    }
+  }
+  // f = 0 leaves only the complete graph.
+  const auto only = graphs_with_max_omissions(3, 0);
+  ASSERT_EQ(only.size(), 1u);
+  EXPECT_EQ(only[0], Digraph::complete(3));
+  // Full budget yields all graphs.
+  EXPECT_EQ(graphs_with_max_omissions(3, 6).size(), all_graphs(3).size());
+}
+
+TEST(Enumerate, RootedGraphsAreRootedAndComplete) {
+  const auto rooted = rooted_graphs(3);
+  for (const Digraph& g : rooted) {
+    EXPECT_TRUE(is_rooted(g)) << g.to_string();
+  }
+  // Cross-check the count against the definition over all graphs.
+  std::size_t expect = 0;
+  for (const Digraph& g : all_graphs(3)) {
+    if (is_rooted(g)) ++expect;
+  }
+  EXPECT_EQ(rooted.size(), expect);
+}
+
+TEST(Enumerate, LossyLinkGraphs) {
+  const auto graphs = lossy_link_graphs();
+  ASSERT_EQ(graphs.size(), 3u);
+  EXPECT_TRUE(graphs[0].has_edge(1, 0));   // "<-"
+  EXPECT_FALSE(graphs[0].has_edge(0, 1));
+  EXPECT_TRUE(graphs[1].has_edge(0, 1));   // "->"
+  EXPECT_FALSE(graphs[1].has_edge(1, 0));
+  EXPECT_TRUE(graphs[2].has_edge(0, 1));   // "<->"
+  EXPECT_TRUE(graphs[2].has_edge(1, 0));
+  EXPECT_STREQ(lossy_link_name(2), "<->");
+}
+
+}  // namespace
+}  // namespace topocon

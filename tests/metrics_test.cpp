@@ -1,0 +1,194 @@
+// Tests for the distance functions of Section 4: the Figure 3 example, the
+// pseudo-metric laws of Theorem 4.3, Lemma 4.8 (d_min as min of d_{p}),
+// and the failure of the triangle inequality for d_min (the reason the
+// minimum topology is only pseudo-semi-metric).
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "graph/enumerate.hpp"
+
+namespace topocon {
+namespace {
+
+// The two executions of Figure 3: three processes, two local states
+// (0 = light, 1 = dark), three configurations. Process 3 (index 2) differs
+// from time 0; process 2 (index 1) first differs at time 1; process 1
+// (index 0) first differs at time 2.
+LabelledExecution figure3_alpha() {
+  return LabelledExecution{{{0, 0, 0}, {0, 0, 1}, {0, 1, 1}}};
+}
+LabelledExecution figure3_beta() {
+  return LabelledExecution{{{0, 0, 1}, {0, 1, 1}, {1, 1, 1}}};
+}
+
+TEST(Figure3, DistancesMatchPaper) {
+  const LabelledExecution alpha = figure3_alpha();
+  const LabelledExecution beta = figure3_beta();
+  EXPECT_DOUBLE_EQ(d_max(alpha, beta), 1.0);
+  EXPECT_DOUBLE_EQ(d_process(alpha, beta, 2), 1.0);    // d_{3} = 1
+  EXPECT_DOUBLE_EQ(d_process(alpha, beta, 1), 0.5);    // d_{2} = 1/2
+  EXPECT_DOUBLE_EQ(d_process(alpha, beta, 0), 0.25);   // d_{1} = 1/4
+  EXPECT_DOUBLE_EQ(d_min(alpha, beta), 0.25);          // d_min = d_{1}
+}
+
+TEST(Figure3, PSetMonotonicity) {
+  const LabelledExecution alpha = figure3_alpha();
+  const LabelledExecution beta = figure3_beta();
+  // d_P <= d_Q for P subset of Q (Theorem 4.3).
+  EXPECT_LE(d_pset(alpha, beta, 0b001), d_pset(alpha, beta, 0b011));
+  EXPECT_LE(d_pset(alpha, beta, 0b011), d_pset(alpha, beta, 0b111));
+  // d_[n] equals d_max.
+  EXPECT_DOUBLE_EQ(d_pset(alpha, beta, 0b111), d_max(alpha, beta));
+}
+
+LabelledExecution random_execution(std::mt19937_64& rng, int n, int len,
+                                   int states) {
+  LabelledExecution e;
+  for (int t = 0; t < len; ++t) {
+    std::vector<int> config(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p) {
+      config[static_cast<std::size_t>(p)] =
+          static_cast<int>(rng() % static_cast<unsigned>(states));
+    }
+    e.states.push_back(std::move(config));
+  }
+  return e;
+}
+
+class MetricLaws : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricLaws, PseudoMetricProperties) {
+  std::mt19937_64 rng(static_cast<unsigned>(GetParam()));
+  const int n = 3;
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto a = random_execution(rng, n, 5, 2);
+    const auto b = random_execution(rng, n, 5, 2);
+    const auto c = random_execution(rng, n, 5, 2);
+    for (int p = 0; p < n; ++p) {
+      // Symmetry.
+      EXPECT_DOUBLE_EQ(d_process(a, b, p), d_process(b, a, p));
+      // Triangle inequality for d_{p} (Theorem 4.3).
+      EXPECT_LE(d_process(a, c, p),
+                d_process(a, b, p) + d_process(b, c, p) + 1e-12);
+      // Reflexivity (pseudo: d(a,a) = 0).
+      EXPECT_DOUBLE_EQ(d_process(a, a, p), 0.0);
+    }
+    // Lemma 4.8: d_min = min_p d_{p}.
+    double expected = 1.0;
+    for (int p = 0; p < n; ++p) {
+      expected = std::min(expected, d_process(a, b, p));
+    }
+    EXPECT_DOUBLE_EQ(d_min(a, b), expected);
+    // Monotonicity d_min <= d_{p} <= d_max.
+    for (int p = 0; p < n; ++p) {
+      EXPECT_LE(d_min(a, b), d_process(a, b, p));
+      EXPECT_LE(d_process(a, b, p), d_max(a, b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricLaws, ::testing::Values(1, 2, 3, 4, 5));
+
+// Section 4.2: d_min violates the triangle inequality. Concrete witness:
+// a and b agree on process 0 forever, b and c agree on process 1 forever,
+// but a and c differ everywhere at time 0.
+TEST(DMin, TriangleInequalityFails) {
+  const LabelledExecution a{{{0, 0}, {0, 0}}};
+  const LabelledExecution b{{{0, 1}, {0, 1}}};
+  const LabelledExecution c{{{1, 1}, {1, 1}}};
+  EXPECT_DOUBLE_EQ(d_min(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(d_min(b, c), 0.0);
+  EXPECT_DOUBLE_EQ(d_min(a, c), 1.0);  // > 0 + 0
+}
+
+// ------------------------------------------------- prefix-based distances
+
+TEST(PrefixMetrics, DivergenceByInput) {
+  ViewInterner interner;
+  RunPrefix a, b;
+  a.inputs = {0, 1};
+  b.inputs = {1, 1};
+  const auto graphs = lossy_link_graphs();
+  a.graphs = {graphs[0], graphs[0]};
+  b.graphs = {graphs[0], graphs[0]};
+  // "<-" delivers only 1 -> 0, so process 1 never hears process 0 and its
+  // view never differs; process 0 differs from time 0.
+  EXPECT_EQ(divergence_time(interner, a, b, 0), 0);
+  EXPECT_EQ(divergence_time(interner, a, b, 1), kNoDivergence);
+  EXPECT_DOUBLE_EQ(d_process(interner, a, b, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d_process(interner, a, b, 1), 0.0);
+  EXPECT_DOUBLE_EQ(d_min(interner, a, b), 0.0);
+  EXPECT_DOUBLE_EQ(d_max(interner, a, b), 1.0);
+}
+
+TEST(PrefixMetrics, DivergenceByGraphs) {
+  ViewInterner interner;
+  RunPrefix a, b;
+  a.inputs = {0, 1};
+  b.inputs = {0, 1};
+  const auto graphs = lossy_link_graphs();
+  // Same inputs; graphs differ in round 2: "<-" vs "<->" -- process 0
+  // receives from 1 in both rounds either way, so the first process to see
+  // a difference is process 1 (hears 0 in round 2 only under "<->").
+  a.graphs = {graphs[0], graphs[0]};
+  b.graphs = {graphs[0], graphs[2]};
+  EXPECT_EQ(divergence_time(interner, a, b, 1), 2);
+  // Process 0: round-2 in-mask is {0,1} in a ("<-")? "<-" delivers 1->0,
+  // "<->" also delivers 1->0; but the message process 1 sends carries the
+  // same view in both runs, so process 0 cannot distinguish within 2
+  // rounds.
+  EXPECT_EQ(divergence_time(interner, a, b, 0), kNoDivergence);
+  EXPECT_DOUBLE_EQ(d_min(interner, a, b), 0.0);
+  EXPECT_DOUBLE_EQ(d_process(interner, a, b, 1), 0.25);
+}
+
+TEST(PrefixMetrics, LawsOnRandomPrefixes) {
+  std::mt19937_64 rng(99);
+  ViewInterner interner;
+  const auto graphs = all_graphs(3);
+  auto random_prefix = [&](int len) {
+    RunPrefix prefix;
+    prefix.inputs = {static_cast<Value>(rng() % 2),
+                     static_cast<Value>(rng() % 2),
+                     static_cast<Value>(rng() % 2)};
+    for (int t = 0; t < len; ++t) {
+      prefix.graphs.push_back(graphs[rng() % graphs.size()]);
+    }
+    return prefix;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    const RunPrefix a = random_prefix(4);
+    const RunPrefix b = random_prefix(4);
+    const RunPrefix c = random_prefix(4);
+    for (int p = 0; p < 3; ++p) {
+      EXPECT_DOUBLE_EQ(d_process(interner, a, b, p),
+                       d_process(interner, b, a, p));
+      EXPECT_LE(d_process(interner, a, c, p),
+                d_process(interner, a, b, p) + d_process(interner, b, c, p) +
+                    1e-12);
+      EXPECT_LE(d_min(interner, a, b), d_process(interner, a, b, p));
+    }
+    EXPECT_LE(d_min(interner, a, b), d_max(interner, a, b));
+  }
+}
+
+TEST(PrefixMetrics, DiameterAndSetDistance) {
+  ViewInterner interner;
+  const auto graphs = lossy_link_graphs();
+  RunPrefix a, b, c;
+  a.inputs = {0, 0};
+  b.inputs = {0, 1};
+  c.inputs = {1, 1};
+  a.graphs = b.graphs = c.graphs = {graphs[1], graphs[1]};  // "->" twice
+  // Diameter of {a, c}: both processes differ at time 0 => 1.
+  EXPECT_DOUBLE_EQ(diameter_min(interner, {a, c}), 1.0);
+  // "->" keeps process 0 blind to process 1's input: d_min(a, b) = 0.
+  EXPECT_DOUBLE_EQ(diameter_min(interner, {a, b}), 0.0);
+  EXPECT_DOUBLE_EQ(distance_min(interner, {a}, {b, c}), 0.0);
+  EXPECT_DOUBLE_EQ(distance_min(interner, {a}, {c}), 1.0);
+}
+
+}  // namespace
+}  // namespace topocon

@@ -1,0 +1,147 @@
+// Property-based sweeps over randomly generated oblivious message
+// adversaries: whenever the checker certifies solvability, the extracted
+// universal algorithm must satisfy T/A/V exhaustively; component summaries
+// must obey Theorem 5.9 (broadcastable => diameter <= 1/2) and
+// Corollary 5.10; and the broadcast helpers must agree with the analysis.
+#include <memory>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "adversary/oblivious.hpp"
+#include "adversary/sampler.hpp"
+#include "core/broadcast.hpp"
+#include "core/metrics.hpp"
+#include "core/solvability.hpp"
+#include "graph/enumerate.hpp"
+#include "runtime/simulator.hpp"
+#include "runtime/universal_runner.hpp"
+#include "runtime/verify.hpp"
+
+namespace topocon {
+namespace {
+
+std::unique_ptr<ObliviousAdversary> random_adversary(std::mt19937_64& rng,
+                                                     int n,
+                                                     int alphabet_size) {
+  const auto graphs = all_graphs(n);
+  std::vector<Digraph> chosen;
+  std::vector<std::size_t> indices(graphs.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  for (int k = 0; k < alphabet_size; ++k) {
+    std::uniform_int_distribution<std::size_t> pick(0, indices.size() - 1);
+    const std::size_t j = pick(rng);
+    chosen.push_back(graphs[indices[j]]);
+    indices.erase(indices.begin() + static_cast<std::ptrdiff_t>(j));
+  }
+  return std::make_unique<ObliviousAdversary>(n, std::move(chosen), "random");
+}
+
+class RandomAdversaries : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomAdversaries, CertifiedTablesAreSoundN2) {
+  std::mt19937_64 rng(static_cast<unsigned>(GetParam()));
+  for (int trial = 0; trial < 12; ++trial) {
+    const int alphabet = 1 + static_cast<int>(rng() % 4);
+    const auto ma = random_adversary(rng, 2, alphabet);
+    SolvabilityOptions options;
+    options.max_depth = 5;
+    const SolvabilityResult result = check_solvability(*ma, options);
+    if (result.verdict != SolvabilityVerdict::kSolvable) continue;
+    const UniversalAlgorithm algo(*result.table);
+    const int horizon = result.certified_depth + 1;
+    for (const auto& letters : enumerate_letter_sequences(*ma, horizon)) {
+      for (const InputVector& inputs : all_input_vectors(2, 2)) {
+        RunPrefix prefix;
+        prefix.inputs = inputs;
+        prefix.graphs = letters_to_graphs(*ma, letters);
+        const ConsensusOutcome outcome = simulate(algo, prefix);
+        const ConsensusCheck check = check_consensus(outcome, inputs);
+        ASSERT_TRUE(check.ok()) << prefix.to_string() << ": " << check.detail;
+        ASSERT_LE(outcome.last_decision_round(), result.certified_depth);
+      }
+    }
+  }
+}
+
+TEST_P(RandomAdversaries, CertifiedTablesAreSoundN3) {
+  std::mt19937_64 rng(static_cast<unsigned>(GetParam()) + 1000);
+  for (int trial = 0; trial < 4; ++trial) {
+    const int alphabet = 1 + static_cast<int>(rng() % 3);
+    const auto ma = random_adversary(rng, 3, alphabet);
+    SolvabilityOptions options;
+    options.max_depth = 3;
+    options.max_states = 1'000'000;
+    const SolvabilityResult result = check_solvability(*ma, options);
+    if (result.verdict != SolvabilityVerdict::kSolvable) continue;
+    const UniversalAlgorithm algo(*result.table);
+    const int horizon = result.certified_depth;
+    for (const auto& letters : enumerate_letter_sequences(*ma, horizon)) {
+      for (const InputVector& inputs : all_input_vectors(3, 2)) {
+        RunPrefix prefix;
+        prefix.inputs = inputs;
+        prefix.graphs = letters_to_graphs(*ma, letters);
+        const ConsensusOutcome outcome = simulate(algo, prefix);
+        const ConsensusCheck check = check_consensus(outcome, inputs);
+        ASSERT_TRUE(check.ok()) << prefix.to_string() << ": " << check.detail;
+      }
+    }
+  }
+}
+
+// Theorem 5.9 / Corollary 5.10 on computed components: a broadcastable
+// component has d_min-diameter <= 1/2 over its member prefixes.
+TEST_P(RandomAdversaries, BroadcastableComponentsHaveSmallDiameter) {
+  std::mt19937_64 rng(static_cast<unsigned>(GetParam()) + 2000);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto ma = random_adversary(rng, 2, 1 + static_cast<int>(rng() % 3));
+    AnalysisOptions options;
+    options.depth = 3;
+    const DepthAnalysis analysis = analyze_depth(*ma, options);
+    // Gather member prefixes per component.
+    std::vector<std::vector<RunPrefix>> members(analysis.components.size());
+    for (std::size_t i = 0; i < analysis.leaves().size(); ++i) {
+      auto prefix =
+          reconstruct_prefix(*ma, analysis, static_cast<int>(i));
+      ASSERT_TRUE(prefix.has_value());
+      members[static_cast<std::size_t>(analysis.leaf_component[i])]
+          .push_back(std::move(*prefix));
+    }
+    ViewInterner interner;
+    for (std::size_t c = 0; c < analysis.components.size(); ++c) {
+      const ComponentInfo& info = analysis.components[c];
+      if (info.broadcasters != 0) {
+        EXPECT_LE(diameter_min(interner, members[c]), 0.5);
+      }
+      // The broadcast helpers must agree with the analysis summary.
+      EXPECT_EQ(broadcast_witnesses(members[c]), info.common_broadcast);
+      EXPECT_EQ(broadcasters(members[c]), info.broadcasters);
+      EXPECT_EQ(is_broadcastable(members[c]), info.broadcasters != 0);
+    }
+  }
+}
+
+// Deepening never destroys separation (components refine).
+TEST_P(RandomAdversaries, SeparationIsMonotoneInDepth) {
+  std::mt19937_64 rng(static_cast<unsigned>(GetParam()) + 3000);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto ma = random_adversary(rng, 2, 1 + static_cast<int>(rng() % 4));
+    auto interner = std::make_shared<ViewInterner>();
+    bool separated = false;
+    for (int depth = 1; depth <= 5; ++depth) {
+      AnalysisOptions options;
+      options.depth = depth;
+      options.keep_levels = false;
+      const DepthAnalysis analysis =
+          analyze_depth(*ma, options, interner);
+      if (separated) EXPECT_TRUE(analysis.valence_separated);
+      separated = analysis.valence_separated;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAdversaries,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace topocon

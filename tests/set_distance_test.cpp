@@ -1,0 +1,130 @@
+// Tests for the set-distance structure of decision sets: Corollary 6.1
+// (for a compact adversary that allows consensus, distinct decision sets
+// and distinct components have d_min-distance > 0) and the merged case
+// (distance 0 between the valence regions of an unsolvable adversary),
+// i.e., the finite-depth shadow of Theorem 5.13 / 5.14 and Figure 4 vs 5.
+#include <gtest/gtest.h>
+
+#include "adversary/lossy_link.hpp"
+#include "core/epsilon_approx.hpp"
+#include "core/metrics.hpp"
+#include "core/solvability.hpp"
+#include "runtime/pair_heard.hpp"
+#include "runtime/simulator.hpp"
+#include "runtime/universal_runner.hpp"
+
+#include "adversary/sampler.hpp"
+
+namespace topocon {
+namespace {
+
+// Collect the member prefixes of every component of a depth analysis.
+std::vector<std::vector<RunPrefix>> component_members(
+    const MessageAdversary& ma, const DepthAnalysis& analysis) {
+  std::vector<std::vector<RunPrefix>> members(analysis.components.size());
+  for (std::size_t i = 0; i < analysis.leaves().size(); ++i) {
+    members[static_cast<std::size_t>(analysis.leaf_component[i])].push_back(
+        *reconstruct_prefix(ma, analysis, static_cast<int>(i)));
+  }
+  return members;
+}
+
+TEST(SetDistance, DecisionSetsOfSolvableAdversaryAreSeparated) {
+  const auto ma = make_lossy_link(0b011);
+  AnalysisOptions options;
+  options.depth = 3;
+  const DepthAnalysis analysis = analyze_depth(*ma, options);
+  ASSERT_TRUE(analysis.valence_separated);
+  const auto members = component_members(*ma, analysis);
+
+  // Assemble PS(0) and PS(1) from the assigned component values.
+  std::vector<RunPrefix> ps0, ps1;
+  for (std::size_t c = 0; c < analysis.components.size(); ++c) {
+    auto& target =
+        analysis.components[c].assigned_value == 0 ? ps0 : ps1;
+    for (const RunPrefix& prefix : members[c]) target.push_back(prefix);
+  }
+  ASSERT_FALSE(ps0.empty());
+  ASSERT_FALSE(ps1.empty());
+  ViewInterner interner;
+  // Corollary 6.1: d_min(PS(0), PS(1)) > 0; at depth t the witness is that
+  // no pair is indistinguishable through the full horizon.
+  EXPECT_GT(distance_min(interner, ps0, ps1), 0.0);
+}
+
+TEST(SetDistance, DistinctComponentsHavePositiveDistance) {
+  const auto ma = make_lossy_link(0b101);
+  AnalysisOptions options;
+  options.depth = 3;
+  const DepthAnalysis analysis = analyze_depth(*ma, options);
+  const auto members = component_members(*ma, analysis);
+  ViewInterner interner;
+  for (std::size_t a = 0; a < members.size(); ++a) {
+    for (std::size_t b = a + 1; b < members.size(); ++b) {
+      EXPECT_GT(distance_min(interner, members[a], members[b]), 0.0)
+          << "components " << a << " and " << b;
+    }
+  }
+}
+
+TEST(SetDistance, ValentSetsPositiveDistanceYetChainConnectedWhenMerged) {
+  const auto ma = make_lossy_link(0b111);
+  AnalysisOptions options;
+  options.depth = 4;
+  const DepthAnalysis analysis = analyze_depth(*ma, options);
+  ASSERT_FALSE(analysis.valence_separated);
+  const auto members = component_members(*ma, analysis);
+
+  // Within the merged component, the 0-valent and 1-valent leaves are
+  // connected by epsilon-chains; in particular some adjacent pair of
+  // leaves with different "valence sides" has distance 0 through the
+  // horizon. A weaker but direct check: the minimum distance between
+  // 0-valent and 1-valent leaf prefixes inside one component is far below
+  // the clean separation 2^-0 = 1 seen across true components -- and some
+  // adjacent pair in the chain achieves indistinguishability (= 0 within
+  // horizon), which obstruction_test verifies hop by hop.
+  std::vector<RunPrefix> valent0, valent1;
+  for (const auto& component : members) {
+    for (const RunPrefix& prefix : component) {
+      if (uniform_value(prefix.inputs) == 0) valent0.push_back(prefix);
+      if (uniform_value(prefix.inputs) == 1) valent1.push_back(prefix);
+    }
+  }
+  ViewInterner interner;
+  // All valent runs live in one merged component; the *sets* {z_0-runs}
+  // and {z_1-runs} have positive pairwise distance (they differ at every
+  // process at time 0) -- it is the chain through mixed inputs that glues
+  // them. This is exactly why Theorem 5.11's broadcastability argument
+  // needs connectivity, not pointwise closeness.
+  EXPECT_GT(distance_min(interner, valent0, valent1), 0.0);
+  EXPECT_EQ(analysis.merged_components, 1);
+}
+
+// The hand-written pair algorithm agrees with the extracted universal
+// algorithm on every admissible run of {<-, ->}.
+TEST(PairHeard, MatchesUniversalAlgorithmEverywhere) {
+  const auto ma = make_lossy_link(0b011);
+  const SolvabilityResult result = check_solvability(*ma);
+  ASSERT_EQ(result.verdict, SolvabilityVerdict::kSolvable);
+  const UniversalAlgorithm universal(*result.table);
+  const PairHeardAlgorithm pair;
+  for (const auto& letters : enumerate_letter_sequences(*ma, 3)) {
+    for (const InputVector& inputs : all_input_vectors(2, 2)) {
+      RunPrefix prefix;
+      prefix.inputs = inputs;
+      prefix.graphs = letters_to_graphs(*ma, letters);
+      const ConsensusOutcome a = simulate(universal, prefix);
+      const ConsensusOutcome b = simulate(pair, prefix);
+      ASSERT_TRUE(a.all_decided());
+      ASSERT_TRUE(b.all_decided());
+      for (int p = 0; p < 2; ++p) {
+        EXPECT_EQ(*a.decisions[static_cast<std::size_t>(p)],
+                  *b.decisions[static_cast<std::size_t>(p)])
+            << prefix.to_string() << " p=" << p;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topocon

@@ -1,0 +1,74 @@
+// Tests for execution tracing: consistency with the plain simulator,
+// knowledge-timeline correctness, and rendering.
+#include <gtest/gtest.h>
+
+#include "adversary/lossy_link.hpp"
+#include "core/solvability.hpp"
+#include "runtime/trace.hpp"
+#include "runtime/universal_runner.hpp"
+
+namespace topocon {
+namespace {
+
+TEST(Trace, MatchesPlainSimulation) {
+  const auto ma = make_lossy_link(0b011);
+  const SolvabilityResult result = check_solvability(*ma);
+  ASSERT_TRUE(result.table.has_value());
+  const UniversalAlgorithm algo(*result.table);
+  RunPrefix prefix;
+  prefix.inputs = {0, 1};
+  prefix.graphs = {ma->graph(0), ma->graph(1), ma->graph(0)};
+  const ExecutionTrace trace = trace_execution(algo, prefix);
+  const ConsensusOutcome plain = simulate(algo, prefix);
+  EXPECT_EQ(trace.outcome.decisions, plain.decisions);
+  EXPECT_EQ(trace.outcome.decision_round, plain.decision_round);
+  ASSERT_EQ(trace.rounds.size(), 3u);
+}
+
+TEST(Trace, KnowledgeTimelineMatchesReach) {
+  const auto ma = make_lossy_link(0b011);
+  const SolvabilityResult result = check_solvability(*ma);
+  const UniversalAlgorithm algo(*result.table);
+  RunPrefix prefix;
+  prefix.inputs = {1, 0};
+  prefix.graphs = {ma->graph(0), ma->graph(1)};
+  const ExecutionTrace trace = trace_execution(algo, prefix);
+  // Round 1 under "<-": process 0 hears process 1.
+  EXPECT_EQ(trace.rounds[0].reach[0], NodeMask{0b11});
+  EXPECT_EQ(trace.rounds[0].reach[1], NodeMask{0b10});
+  // Full-prefix reach agrees with reach_of_prefix.
+  EXPECT_EQ(trace.rounds.back().reach, reach_of_prefix(prefix));
+}
+
+TEST(Trace, DecisionEventsAppearExactlyOnce) {
+  const auto ma = make_lossy_link(0b011);
+  const SolvabilityResult result = check_solvability(*ma);
+  const UniversalAlgorithm algo(*result.table);
+  RunPrefix prefix;
+  prefix.inputs = {0, 0};
+  prefix.graphs = {ma->graph(1), ma->graph(1), ma->graph(0)};
+  const ExecutionTrace trace = trace_execution(algo, prefix);
+  int events = 0;
+  for (const RoundTrace& round : trace.rounds) {
+    events += static_cast<int>(round.decided_this_round.size());
+    ASSERT_EQ(round.decided_this_round.size(),
+              round.decision_values.size());
+  }
+  EXPECT_EQ(events, 2);  // both processes decide exactly once (round >= 1)
+}
+
+TEST(Trace, RenderingContainsRoundsAndDecisions) {
+  const auto ma = make_lossy_link(0b011);
+  const SolvabilityResult result = check_solvability(*ma);
+  const UniversalAlgorithm algo(*result.table);
+  RunPrefix prefix;
+  prefix.inputs = {0, 1};
+  prefix.graphs = {ma->graph(0)};
+  const std::string text = trace_execution(algo, prefix).to_string();
+  EXPECT_NE(text.find("round 1"), std::string::npos);
+  EXPECT_NE(text.find("decides"), std::string::npos);
+  EXPECT_NE(text.find("knows:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace topocon

@@ -1,0 +1,135 @@
+// Tests for the strong-validity variant (Definition 5.1's remark): the
+// decision value must be some process's input in that very run. The
+// checker's strong mode must certify the same adversaries (broadcastable
+// components always admit a strong assignment, Theorem 5.9), and the
+// extracted strong tables must satisfy strong validity exhaustively.
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "adversary/lossy_link.hpp"
+#include "adversary/omission.hpp"
+#include "adversary/sampler.hpp"
+#include "core/solvability.hpp"
+#include "runtime/simulator.hpp"
+#include "runtime/universal_runner.hpp"
+#include "runtime/verify.hpp"
+
+namespace topocon {
+namespace {
+
+void strong_exhaustive(const MessageAdversary& ma, int num_values) {
+  SolvabilityOptions options;
+  options.max_depth = 6;
+  options.num_values = num_values;
+  options.strong_validity = true;
+  const SolvabilityResult result = check_solvability(ma, options);
+  ASSERT_EQ(result.verdict, SolvabilityVerdict::kSolvable) << ma.name();
+  const UniversalAlgorithm algo(*result.table);
+  for (const auto& letters :
+       enumerate_letter_sequences(ma, result.certified_depth)) {
+    for (const InputVector& inputs :
+         all_input_vectors(ma.num_processes(), num_values)) {
+      RunPrefix prefix;
+      prefix.inputs = inputs;
+      prefix.graphs = letters_to_graphs(ma, letters);
+      const ConsensusOutcome outcome = simulate(algo, prefix);
+      const ConsensusCheck check = check_consensus(outcome, inputs);
+      ASSERT_TRUE(check.ok_strong())
+          << ma.name() << " " << prefix.to_string() << ": " << check.detail;
+    }
+  }
+}
+
+TEST(StrongValidity, LossyLinkPairBinary) {
+  strong_exhaustive(*make_lossy_link(0b011), 2);
+}
+
+TEST(StrongValidity, LossyLinkPairTernary) {
+  strong_exhaustive(*make_lossy_link(0b011), 3);
+}
+
+TEST(StrongValidity, LossyLinkLeftBothTernary) {
+  strong_exhaustive(*make_lossy_link(0b101), 3);
+}
+
+TEST(StrongValidity, SingletonTernary) {
+  strong_exhaustive(*make_lossy_link(0b010), 3);
+}
+
+TEST(StrongValidity, OmissionN3F1) {
+  strong_exhaustive(*make_omission_adversary(3, 1), 2);
+}
+
+// Strong and weak certification coincide on the lossy-link family
+// (broadcastable components always admit a strong assignment).
+TEST(StrongValidity, SameVerdictsAsWeakOnLossyLink) {
+  for (unsigned mask = 1; mask < 8; ++mask) {
+    SolvabilityOptions weak, strong;
+    weak.max_depth = strong.max_depth = 5;
+    weak.build_table = strong.build_table = false;
+    strong.strong_validity = true;
+    const auto ma = make_lossy_link(mask);
+    EXPECT_EQ(check_solvability(*ma, weak).verdict,
+              check_solvability(*ma, strong).verdict)
+        << mask;
+  }
+}
+
+// The weak table may decide a default value that nobody proposed (e.g. a
+// non-valent component assigned 0 in ternary domains); the strong table
+// must not. This pins down the semantic difference between the modes.
+TEST(StrongValidity, WeakTableMayViolateStrongTableMustNot) {
+  const auto ma = make_lossy_link(0b010);  // "->" only: p0 blind forever
+  SolvabilityOptions weak;
+  weak.num_values = 3;
+  weak.max_depth = 5;
+  const SolvabilityResult weak_result = check_solvability(*ma, weak);
+  ASSERT_EQ(weak_result.verdict, SolvabilityVerdict::kSolvable);
+
+  SolvabilityOptions strong = weak;
+  strong.strong_validity = true;
+  const SolvabilityResult strong_result = check_solvability(*ma, strong);
+  ASSERT_EQ(strong_result.verdict, SolvabilityVerdict::kSolvable);
+
+  // Under "->" the decision must depend on p0 alone (p1's view is a
+  // function of p0's past); the strong table decides x_0 in every run.
+  const UniversalAlgorithm algo(*strong_result.table);
+  for (const InputVector& inputs : all_input_vectors(2, 3)) {
+    RunPrefix prefix;
+    prefix.inputs = inputs;
+    for (int t = 0; t < strong_result.certified_depth; ++t) {
+      prefix.graphs.push_back(ma->graph(0));
+    }
+    const ConsensusOutcome outcome = simulate(algo, prefix);
+    ASSERT_TRUE(outcome.all_decided());
+    const Value v = *outcome.decisions[0];
+    EXPECT_TRUE(v == inputs[0] || v == inputs[1]);
+  }
+}
+
+// Component-level invariants of the strong assignment.
+TEST(StrongValidity, ComponentAssignmentsRespectCommonValues) {
+  const auto ma = make_lossy_link(0b011);
+  AnalysisOptions options;
+  options.depth = 2;
+  options.num_values = 3;
+  const DepthAnalysis analysis = analyze_depth(*ma, options);
+  ASSERT_TRUE(analysis.valence_separated);
+  ASSERT_TRUE(analysis.strong_assignable);
+  for (const ComponentInfo& info : analysis.components) {
+    ASSERT_GE(info.assigned_value_strong, 0);
+    EXPECT_TRUE(info.common_input_values &
+                (1u << info.assigned_value_strong));
+    if (info.valence_mask != 0) {
+      EXPECT_EQ(1 << info.assigned_value_strong, (int)info.valence_mask);
+    }
+    // Broadcaster's value is always a feasible strong choice (Thm 5.9).
+    if (info.broadcasters != 0) {
+      EXPECT_NE(info.common_input_values, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topocon
