@@ -1,0 +1,42 @@
+# Third-party test/bench dependencies: GoogleTest and google-benchmark.
+#
+# Preference order:
+#   1. A system install found via find_package (works fully offline, which is
+#      how CI containers with pre-baked toolchains build this repo).
+#   2. FetchContent from the upstream GitHub repos, pinned to known-good tags.
+#
+# Both paths end with the same imported targets available:
+#   GTest::gtest, GTest::gtest_main, benchmark::benchmark.
+
+include(FetchContent)
+
+if(TOPOCON_BUILD_TESTS)
+  find_package(GTest QUIET)
+  if(GTest_FOUND)
+    message(STATUS "topocon: using system GoogleTest")
+  else()
+    message(STATUS "topocon: fetching GoogleTest v1.14.0")
+    FetchContent_Declare(googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+      URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+    # Keep gtest out of our install set and off our warning flags.
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+    FetchContent_MakeAvailable(googletest)
+  endif()
+endif()
+
+if(TOPOCON_BUILD_BENCH)
+  find_package(benchmark QUIET)
+  if(benchmark_FOUND)
+    message(STATUS "topocon: using system google-benchmark")
+  else()
+    message(STATUS "topocon: fetching google-benchmark v1.8.3")
+    FetchContent_Declare(googlebenchmark
+      URL https://github.com/google/benchmark/archive/refs/tags/v1.8.3.tar.gz
+      URL_HASH SHA256=6bc180a57d23d4d9515519f92b0c83d61b05b5bab188961f36ac7b06b0d9e9ce)
+    set(BENCHMARK_ENABLE_TESTING OFF CACHE BOOL "" FORCE)
+    set(BENCHMARK_ENABLE_INSTALL OFF CACHE BOOL "" FORCE)
+    FetchContent_MakeAvailable(googlebenchmark)
+  endif()
+endif()

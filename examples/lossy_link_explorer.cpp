@@ -54,7 +54,9 @@ int main(int argc, char** argv) {
     std::string valences;
     for (int v = 0; v < analysis.num_values; ++v) {
       if (info.valence_mask & (1u << v)) {
-        valences += "z" + std::to_string(v) + " ";
+        valences += "z";
+        valences += std::to_string(v);
+        valences += " ";
       }
     }
     std::string broadcasters;
@@ -62,7 +64,9 @@ int main(int argc, char** argv) {
     while (rest != 0) {
       const int p = std::countr_zero(rest);
       rest &= rest - 1;
-      broadcasters += "p" + std::to_string(p + 1) + " ";
+      broadcasters += "p";
+      broadcasters += std::to_string(p + 1);
+      broadcasters += " ";
     }
     table.add_row({std::to_string(c), std::to_string(info.num_leaves),
                    valences.empty() ? "-" : valences,

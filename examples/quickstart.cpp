@@ -40,7 +40,7 @@ int main() {
 
   // 4. Simulate a few admissible runs and verify the consensus spec.
   std::mt19937_64 rng(1);
-  for (const InputVector inputs : {InputVector{0, 1}, InputVector{1, 1},
+  for (const InputVector& inputs : {InputVector{0, 1}, InputVector{1, 1},
                                    InputVector{1, 0}, InputVector{0, 0}}) {
     const RunPrefix prefix = sample_prefix(*adversary, inputs, 6, rng);
     const ConsensusOutcome outcome = simulate(algo, prefix);

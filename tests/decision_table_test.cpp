@@ -64,7 +64,9 @@ void exhaustive_check(const MessageAdversary& ma, int num_values = 2) {
       }
       // Validity.
       const Value uniform = uniform_value(inputs);
-      if (uniform >= 0) EXPECT_EQ(common, uniform);
+      if (uniform >= 0) {
+        EXPECT_EQ(common, uniform);
+      }
     }
   }
 }

@@ -134,7 +134,9 @@ TEST_P(RandomAdversaries, SeparationIsMonotoneInDepth) {
       options.keep_levels = false;
       const DepthAnalysis analysis =
           analyze_depth(*ma, options, interner);
-      if (separated) EXPECT_TRUE(analysis.valence_separated);
+      if (separated) {
+        EXPECT_TRUE(analysis.valence_separated);
+      }
       separated = analysis.valence_separated;
     }
   }

@@ -120,6 +120,91 @@ TEST(Simulator, DecisionAtRoundZero) {
   EXPECT_EQ(outcome.decision_round[0], 0);
 }
 
+// A zero-length prefix still evaluates decisions once (the record(0) path):
+// no rounds run, no messages are delivered, but an algorithm that decides in
+// its initial state is recorded at round 0.
+TEST(Simulator, ZeroLengthPrefix) {
+  RunPrefix prefix;
+  prefix.inputs = {4, 9};
+  ASSERT_EQ(prefix.length(), 0);
+  const ConsensusOutcome immediate = simulate(DecideAtRound{0}, prefix);
+  EXPECT_EQ(immediate.rounds, 0);
+  EXPECT_TRUE(immediate.all_decided());
+  EXPECT_EQ(immediate.decision_round[0], 0);
+  EXPECT_EQ(immediate.decision_round[1], 0);
+  EXPECT_EQ(*immediate.decisions[0], 4);
+  EXPECT_EQ(*immediate.decisions[1], 9);
+
+  const ConsensusOutcome waiting = simulate(DecideAtRound{1}, prefix);
+  EXPECT_EQ(waiting.rounds, 0);
+  EXPECT_FALSE(waiting.all_decided());
+  EXPECT_EQ(waiting.last_decision_round(), -1);
+}
+
+// A single process hears only itself each round; the simulator must still
+// run the full round loop and record the decision at the target round.
+TEST(Simulator, SingleProcessRun) {
+  RunPrefix prefix;
+  prefix.inputs = {6};
+  prefix.graphs = {Digraph::empty(1), Digraph::empty(1), Digraph::empty(1)};
+  struct CountSelf {
+    struct State {
+      Value input = 0;
+      int heard = 0;
+      int round = 0;
+    };
+    using Message = int;
+    State init(ProcessId, Value input) const { return State{input, 0, 0}; }
+    Message message(const State&) const { return 1; }
+    void step(State& state, int round,
+              const std::vector<std::optional<Message>>& received) const {
+      ASSERT_EQ(received.size(), 1u);
+      ASSERT_TRUE(received[0].has_value());  // self-loop delivery
+      state.heard += *received[0];
+      state.round = round;
+    }
+    std::optional<Value> decision(const State& state) const {
+      if (state.round >= 2) return state.input;
+      return std::nullopt;
+    }
+  };
+  const ConsensusOutcome outcome = simulate(CountSelf{}, prefix);
+  EXPECT_EQ(outcome.rounds, 3);
+  EXPECT_TRUE(outcome.all_decided());
+  EXPECT_EQ(outcome.decision_round[0], 2);
+  EXPECT_EQ(*outcome.decisions[0], 6);
+}
+
+// Decisions made before any communication stick at round 0 and are never
+// overwritten by later rounds, even if the algorithm's decision changes.
+TEST(Simulator, RoundZeroDecisionIsSticky) {
+  struct FlipAfterStep {
+    struct State {
+      Value current = 0;
+    };
+    using Message = int;
+    State init(ProcessId, Value input) const { return State{input}; }
+    Message message(const State&) const { return 0; }
+    void step(State& state, int,
+              const std::vector<std::optional<Message>>&) const {
+      state.current += 100;  // would change the decision if re-recorded
+    }
+    std::optional<Value> decision(const State& state) const {
+      return state.current;
+    }
+  };
+  RunPrefix prefix;
+  prefix.inputs = {1, 2, 3};
+  prefix.graphs = {Digraph::complete(3), Digraph::complete(3)};
+  const ConsensusOutcome outcome = simulate(FlipAfterStep{}, prefix);
+  EXPECT_TRUE(outcome.all_decided());
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_EQ(outcome.decision_round[static_cast<std::size_t>(p)], 0);
+    EXPECT_EQ(*outcome.decisions[static_cast<std::size_t>(p)], p + 1);
+  }
+  EXPECT_EQ(outcome.last_decision_round(), 0);
+}
+
 TEST(Simulator, UndecidedReported) {
   RunPrefix prefix;
   prefix.inputs = {1, 2};
