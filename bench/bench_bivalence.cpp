@@ -18,15 +18,14 @@ namespace {
 
 using namespace topocon;
 
-void print_series(std::ostream& out, unsigned mask, int max_depth) {
-  const auto ma = make_lossy_link(mask);
-  out << "Adversary " << lossy_link_subset_name(mask) << ":\n";
+void print_series(std::ostream& out, const sweep::JobOutcome& outcome) {
+  out << "Adversary " << outcome.label << ":\n";
   Table table({"depth", "leaf classes", "components", "merged (bivalent)"});
-  for (const BivalencePoint& point : bivalence_series(*ma, max_depth)) {
-    table.add_row({std::to_string(point.depth),
-                   std::to_string(point.num_leaf_classes),
-                   std::to_string(point.num_components),
-                   std::to_string(point.merged_components)});
+  for (const DepthStats& stats : outcome.series) {
+    table.add_row({std::to_string(stats.depth),
+                   std::to_string(stats.num_leaf_classes),
+                   std::to_string(stats.num_components),
+                   std::to_string(stats.merged_components)});
   }
   table.print(out);
   out << '\n';
@@ -34,8 +33,16 @@ void print_series(std::ostream& out, unsigned mask, int max_depth) {
 
 void print_report(std::ostream& out) {
   out << "== E4: bivalence survival per depth (Section 6.1)\n\n";
-  print_series(out, 0b011, 7);  // {<-, ->}: dies after round 1
-  print_series(out, 0b111, 7);  // {<-, ->, <->}: survives forever
+  sweep::SweepSpec spec;
+  spec.name = "E4-bivalence-survival";
+  AnalysisOptions to7;
+  to7.depth = 7;
+  to7.keep_levels = false;
+  spec.jobs.push_back(sweep::series_job({"lossy_link", 2, 0b011}, to7));
+  spec.jobs.push_back(sweep::series_job({"lossy_link", 2, 0b111}, to7));
+  const auto outcomes = sweep::run_sweep(spec);
+  print_series(out, outcomes[0]);  // {<-, ->}: dies after round 1
+  print_series(out, outcomes[1]);  // {<-, ->, <->}: survives forever
 
   out << "Fair-sequence prefix for {<-, ->, <->} (Definition 5.16): a run\n"
          "whose component is valence-merged at every depth:\n";

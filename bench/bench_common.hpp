@@ -1,17 +1,28 @@
 // Shared helper for bench binaries: print the reproduced paper artifact
 // first, then run the google-benchmark timing section.
+//
+// Sweep plumbing (parsed before google-benchmark sees argv):
+//   --sweep-threads=N    thread count for every run_sweep in the report
+//                        (default: hardware_concurrency)
+//   --sweep-json=PATH    dump all sweeps run by the report as JSON; the
+//                        document is byte-identical for every N
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
-#define TOPOCON_BENCH_MAIN(print_report)                  \
-  int main(int argc, char** argv) {                       \
-    print_report(std::cout);                              \
-    ::benchmark::Initialize(&argc, argv);                 \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
-    ::benchmark::RunSpecifiedBenchmarks();                \
-    ::benchmark::Shutdown();                              \
-    return 0;                                             \
+#include "runtime/sweep/engine.hpp"
+
+#define TOPOCON_BENCH_MAIN(print_report)                                 \
+  int main(int argc, char** argv) {                                      \
+    const topocon::sweep::SweepCliOptions sweep_options =                \
+        topocon::sweep::consume_sweep_args(&argc, argv);                 \
+    print_report(std::cout);                                             \
+    ::benchmark::Initialize(&argc, argv);                                \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;  \
+    ::benchmark::RunSpecifiedBenchmarks();                               \
+    ::benchmark::Shutdown();                                             \
+    if (!topocon::sweep::flush_sweep_json(sweep_options)) return 1;      \
+    return 0;                                                            \
   }

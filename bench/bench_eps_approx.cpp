@@ -18,27 +18,19 @@ namespace {
 
 using namespace topocon;
 
-void series(std::ostream& out, const MessageAdversary& ma, int max_depth,
-            std::size_t max_states = 2'000'000) {
-  out << "Adversary " << ma.name() << ":\n";
+void print_series(std::ostream& out, const sweep::JobOutcome& outcome) {
+  out << "Adversary " << outcome.family << " " << outcome.label << ":\n";
   Table table({"depth t (eps=2^-t)", "leaf classes", "components",
                "merged", "separated", "valent broadcastable",
                "distinct views"});
-  auto interner = std::make_shared<ViewInterner>();
-  for (int depth = 1; depth <= max_depth; ++depth) {
-    AnalysisOptions options;
-    options.depth = depth;
-    options.keep_levels = false;
-    options.max_states = max_states;
-    const DepthAnalysis analysis = analyze_depth(ma, options, interner);
-    if (analysis.truncated) break;
-    table.add_row({std::to_string(depth),
-                   std::to_string(analysis.leaves().size()),
-                   std::to_string(analysis.components.size()),
-                   std::to_string(analysis.merged_components),
-                   yes_no(analysis.valence_separated),
-                   yes_no(analysis.valent_broadcastable),
-                   std::to_string(interner->size())});
+  for (const DepthStats& stats : outcome.series) {
+    table.add_row({std::to_string(stats.depth),
+                   std::to_string(stats.num_leaf_classes),
+                   std::to_string(stats.num_components),
+                   std::to_string(stats.merged_components),
+                   yes_no(stats.separated),
+                   yes_no(stats.valent_broadcastable),
+                   std::to_string(stats.interner_views)});
   }
   table.print(out);
   out << '\n';
@@ -47,36 +39,64 @@ void series(std::ostream& out, const MessageAdversary& ma, int max_depth,
 void print_report(std::ostream& out) {
   out << "== E6: epsilon-approximation convergence (Section 6.2, "
          "Figure 4)\n\n";
-  series(out, *make_lossy_link(0b011), 8);   // solvable pair
-  series(out, *make_lossy_link(0b101), 8);   // solvable, broadcaster 1
-  series(out, *make_lossy_link(0b111), 8);   // impossible
-  series(out, *make_omission_adversary(3, 1), 4, 6'000'000);
+  sweep::SweepSpec spec;
+  spec.name = "E6-eps-convergence";
+  AnalysisOptions to8;
+  to8.depth = 8;
+  to8.keep_levels = false;
+  spec.jobs.push_back(sweep::series_job({"lossy_link", 2, 0b011}, to8));
+  spec.jobs.push_back(sweep::series_job({"lossy_link", 2, 0b101}, to8));
+  spec.jobs.push_back(sweep::series_job({"lossy_link", 2, 0b111}, to8));
+  AnalysisOptions omission4 = to8;
+  omission4.depth = 4;
+  omission4.max_states = 6'000'000;
+  spec.jobs.push_back(sweep::series_job({"omission", 3, 1}, omission4));
+  for (const sweep::JobOutcome& outcome : sweep::run_sweep(spec)) {
+    print_series(out, outcome);
+  }
   out << "Expected shape: solvable adversaries separate at depth 1 and "
          "stay\nseparated (refinement); the full lossy link keeps >= 1 "
          "merged\ncomponent at every depth.\n\n";
 
   // Why the MINIMUM topology: the alternative topologies of Section 4.1
   // over-separate -- they declare even the impossible adversary separated.
+  // Each topology is one depth-3 series job on the sweep engine.
   out << "Topology comparison on the impossible {<-, ->, <->} at depth "
          "3:\n";
-  Table topo({"topology", "components", "valence separated",
-              "is a solvability criterion"});
-  const auto full = make_lossy_link(0b111);
-  auto run = [&](const char* name, AdjacencyTopology topology,
-                 NodeMask pset, const char* criterion) {
+  sweep::SweepSpec topo_spec;
+  topo_spec.name = "E6-topology-comparison";
+  const auto topology_options = [](AdjacencyTopology topology,
+                                   NodeMask pset) {
     AnalysisOptions options;
     options.depth = 3;
     options.keep_levels = false;
     options.topology = topology;
     options.pview_set = pset;
-    const DepthAnalysis analysis = analyze_depth(*full, options);
-    topo.add_row({name, std::to_string(analysis.components.size()),
-                  yes_no(analysis.valence_separated), criterion});
+    return options;
   };
-  run("d_min (Section 4.2)", AdjacencyTopology::kMin, 0, "YES (Thm 6.6)");
-  run("d_{1} (P-view, P={1})", AdjacencyTopology::kPView, 0b01, "no");
-  run("d_{2} (P-view, P={2})", AdjacencyTopology::kPView, 0b10, "no");
-  run("d_max (common prefix)", AdjacencyTopology::kPView, 0b11, "no");
+  topo_spec.jobs.push_back(sweep::series_job(
+      {"lossy_link", 2, 0b111}, topology_options(AdjacencyTopology::kMin, 0)));
+  topo_spec.jobs.push_back(
+      sweep::series_job({"lossy_link", 2, 0b111},
+                        topology_options(AdjacencyTopology::kPView, 0b01)));
+  topo_spec.jobs.push_back(
+      sweep::series_job({"lossy_link", 2, 0b111},
+                        topology_options(AdjacencyTopology::kPView, 0b10)));
+  topo_spec.jobs.push_back(
+      sweep::series_job({"lossy_link", 2, 0b111},
+                        topology_options(AdjacencyTopology::kPView, 0b11)));
+  const auto topo_outcomes = sweep::run_sweep(topo_spec);
+  const char* topo_names[] = {"d_min (Section 4.2)", "d_{1} (P-view, P={1})",
+                              "d_{2} (P-view, P={2})",
+                              "d_max (common prefix)"};
+  const char* topo_criterion[] = {"YES (Thm 6.6)", "no", "no", "no"};
+  Table topo({"topology", "components", "valence separated",
+              "is a solvability criterion"});
+  for (std::size_t i = 0; i < topo_outcomes.size(); ++i) {
+    const DepthStats& at3 = topo_outcomes[i].series.back();
+    topo.add_row({topo_names[i], std::to_string(at3.num_components),
+                  yes_no(at3.separated), topo_criterion[i]});
+  }
   topo.print(out);
   out << "\nOnly d_min keeps the impossible adversary merged; the P-view\n"
          "and common-prefix topologies over-separate (Theorem 5.4 gives\n"

@@ -18,16 +18,24 @@ using namespace topocon;
 
 void print_report(std::ostream& out) {
   out << "== E3: lossy-link solvability table (n = 2, Section 6.1)\n\n";
+  sweep::SweepSpec spec;
+  spec.name = "E3-lossy-link";
+  SolvabilityOptions options;
+  options.max_depth = 8;
+  for (int mask = 1; mask < 8; ++mask) {
+    spec.jobs.push_back(sweep::solvability_job({"lossy_link", 2, mask},
+                                               options));
+  }
+  const std::vector<sweep::JobOutcome> outcomes = sweep::run_sweep(spec);
+
   Table table({"adversary", "oracle", "checker verdict", "CGP-style heuristic",
                "cert depth", "components", "worst decision round",
                "table entries"});
   for (unsigned mask = 1; mask < 8; ++mask) {
-    const auto ma = make_lossy_link(mask);
+    const SolvabilityResult& result = outcomes[mask - 1].result;
     const bool heuristic =
-        root_intersection_heuristic(ma->alphabet()).solvable;
-    SolvabilityOptions options;
-    options.max_depth = 8;
-    const SolvabilityResult result = check_solvability(*ma, options);
+        root_intersection_heuristic(make_lossy_link(mask)->alphabet())
+            .solvable;
     std::string depth = result.certified_depth >= 0
                             ? std::to_string(result.certified_depth)
                             : "-";

@@ -52,19 +52,21 @@ void print_report(std::ostream& out) {
   out << "\n(2) Closure analysis: merged at every depth (the "
          "epsilon-approximation\n    cannot certify this solvable "
          "adversary):\n";
+  sweep::SweepSpec spec;
+  spec.name = "E7-finite-loss-closure";
+  AnalysisOptions closure_options;
+  closure_options.depth = 3;
+  closure_options.keep_levels = false;
+  closure_options.max_states = 6'000'000;
+  spec.jobs.push_back(sweep::series_job({"finite_loss", n, 0},
+                                        closure_options));
+  const auto outcomes = sweep::run_sweep(spec);
   Table closure({"depth", "components", "merged", "separated"});
-  auto interner = std::make_shared<ViewInterner>();
-  for (int depth = 1; depth <= 3; ++depth) {
-    AnalysisOptions options;
-    options.depth = depth;
-    options.keep_levels = false;
-    options.max_states = 6'000'000;
-    const DepthAnalysis analysis = analyze_depth(ma, options, interner);
-    if (analysis.truncated) break;
-    closure.add_row({std::to_string(depth),
-                     std::to_string(analysis.components.size()),
-                     std::to_string(analysis.merged_components),
-                     yes_no(analysis.valence_separated)});
+  for (const DepthStats& stats : outcomes[0].series) {
+    closure.add_row({std::to_string(stats.depth),
+                     std::to_string(stats.num_components),
+                     std::to_string(stats.merged_components),
+                     yes_no(stats.separated)});
   }
   closure.print(out);
 

@@ -3,8 +3,14 @@
 // the Santoro-Widmayer threshold (solvable iff f <= n-2), and contrasts
 // the universal algorithm with the FloodMin baseline of [22] (correct for
 // f <= n-2 with decision round n-1; loses agreement at f = n-1).
+//
+// The checker column is produced by the parallel sweep engine: one
+// solvability job per budget f, root-sharded internally. Run with
+// --sweep-threads=N / --sweep-json=PATH (see bench_common.hpp).
+#include <chrono>
 #include <random>
 
+#include "adversary/family.hpp"
 #include "adversary/omission.hpp"
 #include "adversary/sampler.hpp"
 #include "analysis/oracles.hpp"
@@ -13,6 +19,7 @@
 #include "core/solvability.hpp"
 #include "runtime/flood_min.hpp"
 #include "runtime/simulator.hpp"
+#include "runtime/sweep/parallel_solver.hpp"
 #include "runtime/verify.hpp"
 
 namespace {
@@ -48,17 +55,29 @@ bool flood_min_always_correct(const MessageAdversary& ma, int n) {
 
 void sweep(std::ostream& out, int n, int max_f, int max_depth,
            std::size_t max_states) {
+  sweep::SweepSpec spec;
+  spec.name = "E5-omission-n" + std::to_string(n);
+  SolvabilityOptions options;
+  options.max_depth = max_depth;
+  options.max_states = max_states;
+  options.build_table = false;
+  for (int f = 0; f <= max_f; ++f) {
+    spec.jobs.push_back(sweep::solvability_job({"omission", n, f}, options));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<sweep::JobOutcome> outcomes = sweep::run_sweep(spec);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
   out << "n = " << n << " processes:\n";
   Table table({"f (omissions/round)", "oracle [21,22]", "checker verdict",
                "cert depth", "FloodMin(n-1) exhaustive",
                "FloodMin(n-1) sampled ok"});
   for (int f = 0; f <= max_f; ++f) {
+    const SolvabilityResult& result =
+        outcomes[static_cast<std::size_t>(f)].result;
     const auto ma = make_omission_adversary(n, f);
-    SolvabilityOptions options;
-    options.max_depth = max_depth;
-    options.max_states = max_states;
-    options.build_table = false;
-    const SolvabilityResult result = check_solvability(*ma, options);
     const bool exhaustive = flood_min_always_correct(*ma, n);
     table.add_row(
         {std::to_string(f),
@@ -69,7 +88,8 @@ void sweep(std::ostream& out, int n, int max_f, int max_depth,
          yes_no(exhaustive), fmt(flood_min_success(*ma, n, 300), 2)});
   }
   table.print(out);
-  out << '\n';
+  out << "(sweep: " << spec.jobs.size() << " jobs in " << fmt(elapsed, 3)
+      << " s on " << sweep::default_num_threads() << " thread(s))\n\n";
 }
 
 void print_report(std::ostream& out) {
@@ -94,6 +114,24 @@ void BM_CheckOmission(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CheckOmission)->Args({2, 0})->Args({2, 1})->Args({3, 1})->Args({3, 2});
+
+// Same check through the sharded engine; compare against BM_CheckOmission
+// for the intra-job speedup at --sweep-threads.
+void BM_ParallelCheckOmission(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int f = static_cast<int>(state.range(1));
+  const auto ma = make_omission_adversary(n, f);
+  SolvabilityOptions options;
+  options.max_depth = n == 2 ? 5 : 2;
+  options.max_states = 6'000'000;
+  options.build_table = false;
+  sweep::ThreadPool pool(sweep::default_num_threads());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sweep::parallel_check_solvability(*ma, options, pool));
+  }
+}
+BENCHMARK(BM_ParallelCheckOmission)->Args({3, 1})->Args({3, 2});
 
 void BM_FloodMinRound(benchmark::State& state) {
   const int n = 3;

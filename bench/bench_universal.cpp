@@ -19,13 +19,10 @@ namespace {
 
 using namespace topocon;
 
-void profile(std::ostream& out, const MessageAdversary& ma, int max_depth,
-             std::size_t max_states = 2'000'000) {
-  SolvabilityOptions options;
-  options.max_depth = max_depth;
-  options.max_states = max_states;
-  const SolvabilityResult result = check_solvability(ma, options);
-  out << "Adversary " << ma.name() << ": " << to_string(result.verdict);
+void profile(std::ostream& out, const sweep::JobOutcome& outcome) {
+  const SolvabilityResult& result = outcome.result;
+  out << "Adversary " << outcome.family << " " << outcome.label << ": "
+      << to_string(result.verdict);
   if (result.verdict != SolvabilityVerdict::kSolvable) {
     out << "\n\n";
     return;
@@ -45,10 +42,20 @@ void profile(std::ostream& out, const MessageAdversary& ma, int max_depth,
 
 void print_report(std::ostream& out) {
   out << "== E9: universal algorithm (Theorem 5.5) cost profile\n\n";
-  profile(out, *make_lossy_link(0b011), 6);
-  profile(out, *make_lossy_link(0b101), 6);
-  profile(out, *make_lossy_link(0b100), 6);
-  profile(out, *make_omission_adversary(3, 1), 4, 6'000'000);
+  sweep::SweepSpec spec;
+  spec.name = "E9-universal-profile";
+  SolvabilityOptions to6;
+  to6.max_depth = 6;
+  spec.jobs.push_back(sweep::solvability_job({"lossy_link", 2, 0b011}, to6));
+  spec.jobs.push_back(sweep::solvability_job({"lossy_link", 2, 0b101}, to6));
+  spec.jobs.push_back(sweep::solvability_job({"lossy_link", 2, 0b100}, to6));
+  SolvabilityOptions omission;
+  omission.max_depth = 4;
+  omission.max_states = 6'000'000;
+  spec.jobs.push_back(sweep::solvability_job({"omission", 3, 1}, omission));
+  for (const sweep::JobOutcome& outcome : sweep::run_sweep(spec)) {
+    profile(out, outcome);
+  }
 }
 
 void BM_CertificateConstruction(benchmark::State& state) {

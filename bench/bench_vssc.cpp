@@ -26,16 +26,25 @@ using namespace topocon;
 void sweep(std::ostream& out, int n, int max_k) {
   out << "n = " << n << " processes (stable-window algorithm with "
       << "verification window 2n = " << 2 * n << "):\n";
+  sweep::SweepSpec spec;
+  spec.name = "E8-vssc-n" + std::to_string(n);
+  SolvabilityOptions closure_options;
+  closure_options.max_depth = 3;
+  closure_options.max_states = 4'000'000;
+  closure_options.build_table = false;
+  for (int k = 1; k <= max_k; ++k) {
+    spec.jobs.push_back(sweep::solvability_job({"vssc", n, k},
+                                               closure_options));
+  }
+  const auto outcomes = sweep::run_sweep(spec);
+
   Table table({"stability k", "oracle", "closure verdict", "runs decided",
                "agreement+validity", "mean decision round"});
   std::mt19937_64 rng(123);
   for (int k = 1; k <= max_k; ++k) {
     const VsscAdversary ma(n, k);
-    SolvabilityOptions options;
-    options.max_depth = 3;
-    options.max_states = 4'000'000;
-    options.build_table = false;
-    const SolvabilityResult closure = check_solvability(ma, options);
+    const SolvabilityResult& closure =
+        outcomes[static_cast<std::size_t>(k - 1)].result;
 
     const VsscConsensus algo(n);
     const int runs = 120;

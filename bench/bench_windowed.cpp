@@ -19,13 +19,22 @@ using namespace topocon;
 void print_report(std::ostream& out) {
   out << "== E11 (ablation): repetition windows vs lossy-link "
          "solvability\n\n";
+  sweep::SweepSpec windows;
+  windows.name = "E11-windowed";
+  SolvabilityOptions window_options;
+  window_options.max_depth = 8;
+  for (int w = 1; w <= 4; ++w) {
+    windows.jobs.push_back(
+        sweep::solvability_job({"windowed_lossy_link", 2, w},
+                               window_options));
+  }
+  const auto window_outcomes = sweep::run_sweep(windows);
+
   Table table({"window w", "checker verdict", "cert depth",
                "worst decision round", "leaf classes at cert depth"});
   for (int w = 1; w <= 4; ++w) {
-    const auto ma = make_windowed_lossy_link(w);
-    SolvabilityOptions options;
-    options.max_depth = 8;
-    const SolvabilityResult result = check_solvability(*ma, options);
+    const SolvabilityResult& result =
+        window_outcomes[static_cast<std::size_t>(w - 1)].result;
     table.add_row(
         {std::to_string(w), to_string(result.verdict),
          result.certified_depth >= 0 ? std::to_string(result.certified_depth)
@@ -41,17 +50,25 @@ void print_report(std::ostream& out) {
          "admissible 2-prefixes are doubled graphs).\n\n";
 
   out << "Heard-Of sweep (per-receiver in-degree bound, [7]):\n";
-  Table ho({"n", "min heard-of k", "checker verdict"});
+  sweep::SweepSpec heard;
+  heard.name = "E11-heard-of";
   for (int n = 2; n <= 3; ++n) {
     for (int k = 1; k <= n; ++k) {
-      const auto ma = make_heard_of_adversary(n, k);
       SolvabilityOptions options;
       options.max_depth = n == 2 ? 6 : 3;
       options.max_states = 6'000'000;
       options.build_table = false;
-      const SolvabilityResult result = check_solvability(*ma, options);
+      heard.jobs.push_back(sweep::solvability_job({"heard_of", n, k},
+                                                  options));
+    }
+  }
+  const auto heard_outcomes = sweep::run_sweep(heard);
+  Table ho({"n", "min heard-of k", "checker verdict"});
+  std::size_t row = 0;
+  for (int n = 2; n <= 3; ++n) {
+    for (int k = 1; k <= n; ++k) {
       ho.add_row({std::to_string(n), std::to_string(k),
-                  to_string(result.verdict)});
+                  to_string(heard_outcomes[row++].result.verdict)});
     }
   }
   ho.print(out);

@@ -6,9 +6,14 @@
 //   DEPTH:  analysis depth (default 4).
 //
 // Prints the epsilon-approximation component structure at the requested
-// depth, the solvability verdict, broadcaster information per component,
-// and -- when the adversary is unsolvable -- a concrete epsilon-chain and
-// fair-sequence prefix witnessing the obstruction.
+// depth (computed by the root-sharded parallel engine), the solvability
+// verdict, broadcaster information per component, and -- when the
+// adversary is unsolvable -- a concrete epsilon-chain and fair-sequence
+// prefix witnessing the obstruction.
+//
+// Accepts --sweep-threads=T (default: hardware concurrency; the printed
+// output is identical for every T) and --sweep-json=PATH (solvability
+// results as JSON).
 #include <bit>
 #include <iostream>
 #include <string>
@@ -18,9 +23,13 @@
 #include "analysis/report.hpp"
 #include "core/obstruction.hpp"
 #include "core/solvability.hpp"
+#include "runtime/sweep/engine.hpp"
+#include "runtime/sweep/parallel_solver.hpp"
 
 int main(int argc, char** argv) {
   using namespace topocon;
+  const sweep::SweepCliOptions sweep_options =
+      sweep::consume_sweep_args(&argc, argv);
 
   unsigned mask = 0;
   const std::string subset = argc > 1 ? argv[1] : "lrb";
@@ -40,9 +49,11 @@ int main(int argc, char** argv) {
             << (lossy_link_solvable(mask) ? "solvable" : "impossible")
             << "\n\n";
 
+  sweep::ThreadPool pool(sweep::default_num_threads());
   AnalysisOptions options;
   options.depth = depth;
-  const DepthAnalysis analysis = analyze_depth(*ma, options);
+  const DepthAnalysis analysis =
+      sweep::parallel_analyze_depth(*ma, options, pool);
   std::cout << "Depth-" << depth << " epsilon-approximation: "
             << analysis.leaves().size() << " leaf classes, "
             << analysis.components.size() << " components, separated: "
@@ -74,7 +85,12 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
-  const SolvabilityResult result = check_solvability(*ma);
+  sweep::SweepSpec spec;
+  spec.name = "lossy-link-explorer";
+  spec.jobs.push_back(sweep::solvability_job(
+      {"lossy_link", 2, static_cast<int>(mask)}, SolvabilityOptions{}));
+  const std::vector<sweep::JobOutcome> outcomes = sweep::run_sweep(spec);
+  const SolvabilityResult& result = outcomes[0].result;
   std::cout << "\nChecker verdict: " << to_string(result.verdict) << "\n";
 
   if (!analysis.valence_separated) {
@@ -97,5 +113,5 @@ int main(int argc, char** argv) {
                 << fair->to_string() << "\n";
     }
   }
-  return 0;
+  return sweep::flush_sweep_json(sweep_options) ? 0 : 1;
 }

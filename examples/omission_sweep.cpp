@@ -1,41 +1,57 @@
 // Santoro-Widmayer omission adversaries (Section 6.1, [21, 22]): sweep the
-// per-round omission budget f for a chosen n, run the topological checker,
+// per-round omission budget f for a chosen n on the parallel sweep engine,
 // and contrast the extracted universal algorithm with the FloodMin
 // baseline on sampled runs.
 //
-// Usage: omission_sweep [N]
+// Usage: omission_sweep [N] [--sweep-threads=T] [--sweep-json=PATH]
+//   N                  processes (2 or 3; default 3)
+//   --sweep-threads=T  engine threads (default: hardware concurrency)
+//   --sweep-json=PATH  write the sweep results as JSON (byte-identical
+//                      for every T)
 #include <iostream>
 #include <random>
 #include <string>
 
-#include "adversary/omission.hpp"
+#include "adversary/family.hpp"
 #include "adversary/sampler.hpp"
 #include "analysis/oracles.hpp"
 #include "analysis/report.hpp"
-#include "core/solvability.hpp"
 #include "runtime/flood_min.hpp"
 #include "runtime/simulator.hpp"
+#include "runtime/sweep/engine.hpp"
 #include "runtime/universal_runner.hpp"
 #include "runtime/verify.hpp"
 
 int main(int argc, char** argv) {
   using namespace topocon;
+  const sweep::SweepCliOptions sweep_options =
+      sweep::consume_sweep_args(&argc, argv);
   const int n = argc > 1 ? std::stoi(argv[1]) : 3;
   if (n < 2 || n > 3) {
     std::cerr << "N must be 2 or 3\n";
     return 2;
   }
 
-  std::cout << "Omission sweep, n = " << n << "\n\n";
+  std::cout << "Omission sweep, n = " << n << " ("
+            << sweep::default_num_threads() << " thread(s))\n\n";
+  const int max_f = n * (n - 1);
+  sweep::SweepSpec spec;
+  spec.name = "omission-sweep-n" + std::to_string(n);
+  SolvabilityOptions options;
+  options.max_depth = n == 2 ? 6 : 3;
+  options.max_states = 6'000'000;
+  for (int f = 0; f <= max_f; ++f) {
+    spec.jobs.push_back(sweep::solvability_job({"omission", n, f}, options));
+  }
+  const std::vector<sweep::JobOutcome> outcomes = sweep::run_sweep(spec);
+
   Table table({"f", "oracle [21,22]", "checker", "universal T/A/V (sampled)",
                "FloodMin(n-1) T/A/V (sampled)"});
   std::mt19937_64 rng(5);
-  for (int f = 0; f <= n * (n - 1); ++f) {
-    const auto ma = make_omission_adversary(n, f);
-    SolvabilityOptions options;
-    options.max_depth = n == 2 ? 6 : 3;
-    options.max_states = 6'000'000;
-    const SolvabilityResult result = check_solvability(*ma, options);
+  for (int f = 0; f <= max_f; ++f) {
+    const SolvabilityResult& result =
+        outcomes[static_cast<std::size_t>(f)].result;
+    const auto ma = make_family_adversary({"omission", n, f});
 
     std::string universal = "-";
     if (result.table.has_value()) {
@@ -68,5 +84,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nThe solvability threshold f = n-2 = " << n - 2
             << " (Santoro-Widmayer).\n";
-  return 0;
+  return sweep::flush_sweep_json(sweep_options) ? 0 : 1;
 }

@@ -1,0 +1,77 @@
+#include "adversary/family.hpp"
+
+#include <stdexcept>
+
+#include "adversary/finite_loss.hpp"
+#include "adversary/heard_of.hpp"
+#include "adversary/lossy_link.hpp"
+#include "adversary/omission.hpp"
+#include "adversary/vssc.hpp"
+#include "adversary/windowed.hpp"
+
+namespace topocon {
+
+const std::vector<std::string>& known_families() {
+  static const std::vector<std::string> families = {
+      "lossy_link", "omission",    "heard_of",
+      "windowed_lossy_link", "vssc", "finite_loss"};
+  return families;
+}
+
+std::string family_point_label(const FamilyPoint& point) {
+  if (point.family == "lossy_link") {
+    return lossy_link_subset_name(static_cast<unsigned>(point.param));
+  }
+  if (point.family == "omission") {
+    return "n=" + std::to_string(point.n) +
+           " f=" + std::to_string(point.param);
+  }
+  if (point.family == "heard_of") {
+    return "n=" + std::to_string(point.n) +
+           " k=" + std::to_string(point.param);
+  }
+  if (point.family == "windowed_lossy_link") {
+    return "w=" + std::to_string(point.param);
+  }
+  if (point.family == "vssc") {
+    return "n=" + std::to_string(point.n) +
+           " stability=" + std::to_string(point.param);
+  }
+  if (point.family == "finite_loss") {
+    return "n=" + std::to_string(point.n);
+  }
+  return point.family + "(n=" + std::to_string(point.n) +
+         ", param=" + std::to_string(point.param) + ")";
+}
+
+std::unique_ptr<MessageAdversary> make_family_adversary(
+    const FamilyPoint& point) {
+  if (point.family == "lossy_link") {
+    if (point.n != 2 || point.param < 1 || point.param > 7) {
+      throw std::invalid_argument("lossy_link: need n=2, 1 <= mask <= 7");
+    }
+    return make_lossy_link(static_cast<unsigned>(point.param));
+  }
+  if (point.family == "omission") {
+    return make_omission_adversary(point.n, point.param);
+  }
+  if (point.family == "heard_of") {
+    return make_heard_of_adversary(point.n, point.param);
+  }
+  if (point.family == "windowed_lossy_link") {
+    if (point.n != 2 || point.param < 1) {
+      throw std::invalid_argument(
+          "windowed_lossy_link: need n=2, window >= 1");
+    }
+    return make_windowed_lossy_link(point.param);
+  }
+  if (point.family == "vssc") {
+    return std::make_unique<VsscAdversary>(point.n, point.param);
+  }
+  if (point.family == "finite_loss") {
+    return std::make_unique<FiniteLossAdversary>(point.n);
+  }
+  throw std::invalid_argument("unknown adversary family: " + point.family);
+}
+
+}  // namespace topocon

@@ -1,0 +1,41 @@
+// Named adversary families as data: one (family, n, param) triple per
+// grid point, with a uniform factory. This is the adapter layer between
+// the benchmark/CLI parameter grids and the sweep engine
+// (runtime/sweep/engine.hpp): a SweepSpec is essentially a list of
+// FamilyPoints plus solver options, and every bench table row corresponds
+// to one point.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+
+namespace topocon {
+
+/// One point of a family parameter grid. `param` is family-specific:
+///   lossy_link          -- subset mask over {<-, ->, <->} (1..7); n = 2.
+///   omission            -- per-round omission budget f.
+///   heard_of            -- minimal per-receiver in-degree k (1..n).
+///   windowed_lossy_link -- repetition window w (>= 1); n = 2.
+///   vssc                -- stability window length (>= 1).
+///   finite_loss         -- unused (0).
+struct FamilyPoint {
+  std::string family;
+  int n = 2;
+  int param = 0;
+};
+
+/// The families make_family_adversary accepts, in canonical order.
+const std::vector<std::string>& known_families();
+
+/// Short human/JSON label of a point, e.g. "n=3 f=1" or "{<-, ->}".
+std::string family_point_label(const FamilyPoint& point);
+
+/// Constructs the adversary for a grid point. Throws std::invalid_argument
+/// for unknown family names or out-of-range parameters.
+std::unique_ptr<MessageAdversary> make_family_adversary(
+    const FamilyPoint& point);
+
+}  // namespace topocon

@@ -33,97 +33,78 @@ struct StateKeyHash {
 
 }  // namespace
 
-DepthAnalysis analyze_depth(const MessageAdversary& adversary,
-                            const AnalysisOptions& options,
-                            std::shared_ptr<ViewInterner> interner) {
+std::vector<PrefixState> initial_frontier(const MessageAdversary& adversary,
+                                          const AnalysisOptions& options,
+                                          ViewInterner& interner,
+                                          int first_root, int last_root) {
   const int n = adversary.num_processes();
-  DepthAnalysis analysis;
-  analysis.num_values = options.num_values;
-  analysis.num_processes = n;
-  analysis.interner =
-      interner ? std::move(interner) : std::make_shared<ViewInterner>();
-  ViewInterner& intern = *analysis.interner;
-
-  // ---- Level 0: one class per input vector.
-  std::vector<PrefixState> current;
-  for (const InputVector& x : all_input_vectors(n, options.num_values)) {
+  const std::vector<InputVector> roots =
+      all_input_vectors(n, options.num_values);
+  assert(0 <= first_root && first_root <= last_root &&
+         static_cast<std::size_t>(last_root) <= roots.size());
+  std::vector<PrefixState> frontier;
+  frontier.reserve(static_cast<std::size_t>(last_root - first_root));
+  for (int r = first_root; r < last_root; ++r) {
+    const InputVector& x = roots[static_cast<std::size_t>(r)];
     PrefixState state;
     state.inputs = x;
-    state.views = intern.initial(x);
+    state.views = interner.initial(x);
     state.reach = initial_reach(n);
     state.adv_state = adversary.initial_state();
     state.multiplicity = 1;
-    current.push_back(std::move(state));
+    frontier.push_back(std::move(state));
   }
-  if (options.keep_levels) {
-    analysis.levels.push_back(current);
-    analysis.first_parent.push_back(
-        std::vector<std::pair<int, int>>(current.size(), {-1, -1}));
-  }
+  return frontier;
+}
 
-  // ---- BFS levels 1..depth with per-level deduplication.
-  int reached_depth = 0;
-  for (int s = 1; s <= options.depth; ++s) {
-    std::vector<PrefixState> next;
-    std::vector<std::pair<int, int>> next_parent;
-    std::unordered_map<StateKey, int, StateKeyHash> index;
-    std::vector<std::vector<int>> children(current.size());
-    bool overflow = false;
+FrontierLevel expand_frontier(const MessageAdversary& adversary,
+                              ViewInterner& interner,
+                              const std::vector<PrefixState>& current,
+                              std::size_t max_states, bool keep_links) {
+  FrontierLevel level;
+  std::unordered_map<StateKey, int, StateKeyHash> index;
+  if (keep_links) level.children.resize(current.size());
 
-    for (std::size_t i = 0; i < current.size() && !overflow; ++i) {
-      const PrefixState& parent = current[i];
-      for (int letter = 0; letter < adversary.alphabet_size(); ++letter) {
-        const AdvState adv_next =
-            adversary.transition(parent.adv_state, letter);
-        if (adv_next == kRejectState) continue;
-        const Digraph& g = adversary.graph(letter);
-        StateKey key{adv_next, intern.advance(parent.views, g)};
-        auto [it, inserted] =
-            index.try_emplace(std::move(key), static_cast<int>(next.size()));
-        if (inserted) {
-          PrefixState child;
-          child.inputs = parent.inputs;
-          child.views = it->first.views;
-          child.reach = advance_reach(parent.reach, g);
-          child.adv_state = adv_next;
-          child.multiplicity = parent.multiplicity;
-          next.push_back(std::move(child));
-          next_parent.emplace_back(static_cast<int>(i), letter);
-          if (next.size() > options.max_states) {
-            overflow = true;
-            break;
-          }
-        } else {
-          next[static_cast<std::size_t>(it->second)].multiplicity +=
-              parent.multiplicity;
+  for (std::size_t i = 0; i < current.size() && !level.overflow; ++i) {
+    const PrefixState& parent = current[i];
+    for (int letter = 0; letter < adversary.alphabet_size(); ++letter) {
+      const AdvState adv_next = adversary.transition(parent.adv_state, letter);
+      if (adv_next == kRejectState) continue;
+      const Digraph& g = adversary.graph(letter);
+      StateKey key{adv_next, interner.advance(parent.views, g)};
+      auto [it, inserted] = index.try_emplace(
+          std::move(key), static_cast<int>(level.states.size()));
+      if (inserted) {
+        PrefixState child;
+        child.inputs = parent.inputs;
+        child.views = it->first.views;
+        child.reach = advance_reach(parent.reach, g);
+        child.adv_state = adv_next;
+        child.multiplicity = parent.multiplicity;
+        level.states.push_back(std::move(child));
+        level.first_parent.emplace_back(static_cast<int>(i), letter);
+        if (level.states.size() > max_states) {
+          level.overflow = true;
+          break;
         }
-        if (options.keep_levels) {
-          std::vector<int>& kids = children[i];
-          if (std::find(kids.begin(), kids.end(), it->second) == kids.end()) {
-            kids.push_back(it->second);
-          }
+      } else {
+        level.states[static_cast<std::size_t>(it->second)].multiplicity +=
+            parent.multiplicity;
+      }
+      if (keep_links) {
+        std::vector<int>& kids = level.children[i];
+        if (std::find(kids.begin(), kids.end(), it->second) == kids.end()) {
+          kids.push_back(it->second);
         }
       }
     }
-
-    if (overflow) {
-      analysis.truncated = true;
-      break;
-    }
-    current = std::move(next);
-    reached_depth = s;
-    if (options.keep_levels) {
-      analysis.children.push_back(std::move(children));
-      analysis.levels.push_back(current);
-      analysis.first_parent.push_back(std::move(next_parent));
-    }
   }
-  analysis.depth = reached_depth;
-  if (!options.keep_levels) {
-    analysis.levels.push_back(current);
-  }
+  return level;
+}
 
-  // ---- Components.
+void compute_components(const AnalysisOptions& options,
+                        DepthAnalysis& analysis) {
+  const int n = analysis.num_processes;
   const std::vector<PrefixState>& leaves = analysis.levels.back();
   UnionFind uf(leaves.size());
   if (options.topology == AdjacencyTopology::kMin) {
@@ -228,6 +209,54 @@ DepthAnalysis analyze_depth(const MessageAdversary& adversary,
     if (info.assigned_value_strong < 0) analysis.strong_assignable = false;
   }
   analysis.strong_assignable &= analysis.valence_separated;
+}
+
+DepthAnalysis analyze_depth(const MessageAdversary& adversary,
+                            const AnalysisOptions& options,
+                            std::shared_ptr<ViewInterner> interner) {
+  const int n = adversary.num_processes();
+  DepthAnalysis analysis;
+  analysis.num_values = options.num_values;
+  analysis.num_processes = n;
+  analysis.interner =
+      interner ? std::move(interner) : std::make_shared<ViewInterner>();
+  ViewInterner& intern = *analysis.interner;
+
+  // ---- Level 0: one class per input vector.
+  const int num_roots =
+      static_cast<int>(all_input_vectors(n, options.num_values).size());
+  std::vector<PrefixState> current =
+      initial_frontier(adversary, options, intern, 0, num_roots);
+  if (options.keep_levels) {
+    analysis.levels.push_back(current);
+    analysis.first_parent.push_back(
+        std::vector<std::pair<int, int>>(current.size(), {-1, -1}));
+  }
+
+  // ---- BFS levels 1..depth with per-level deduplication.
+  int reached_depth = 0;
+  for (int s = 1; s <= options.depth; ++s) {
+    FrontierLevel level = expand_frontier(adversary, intern, current,
+                                          options.max_states,
+                                          options.keep_levels);
+    if (level.overflow) {
+      analysis.truncated = true;
+      break;
+    }
+    current = std::move(level.states);
+    reached_depth = s;
+    if (options.keep_levels) {
+      analysis.children.push_back(std::move(level.children));
+      analysis.levels.push_back(current);
+      analysis.first_parent.push_back(std::move(level.first_parent));
+    }
+  }
+  analysis.depth = reached_depth;
+  if (!options.keep_levels) {
+    analysis.levels.push_back(current);
+  }
+
+  compute_components(options, analysis);
   return analysis;
 }
 

@@ -163,6 +163,49 @@ DepthAnalysis analyze_depth(const MessageAdversary& adversary,
                             const AnalysisOptions& options,
                             std::shared_ptr<ViewInterner> interner = nullptr);
 
+// ---- Frontier API -------------------------------------------------------
+//
+// The BFS over the admissible-prefix space, exposed level by level. Both
+// analyze_depth() above and the parallel sweep engine
+// (runtime/sweep/parallel_solver.*) are built on these three calls. A key
+// structural fact makes sharding exact: the dedup key contains all views,
+// every view contains its own input, so classes of *different* input
+// vectors never merge -- the prefix space is the disjoint union of one
+// subtree per input vector ("root"), and each subtree can be expanded
+// independently with a private interner.
+
+/// One expanded BFS level: the deduplicated child classes plus the tree
+/// links back into the parent level.
+struct FrontierLevel {
+  std::vector<PrefixState> states;
+  /// (parent index, letter) of the first discovery, per state.
+  std::vector<std::pair<int, int>> first_parent;
+  /// children[i] = deduplicated child indices of parent i; filled only
+  /// when expand_frontier is called with keep_links.
+  std::vector<std::vector<int>> children;
+  /// True iff the level exceeded max_states (states is then incomplete).
+  bool overflow = false;
+};
+
+/// Level-0 classes: one per input vector with dense index in
+/// [first_root, last_root) of all_input_vectors(n, options.num_values).
+std::vector<PrefixState> initial_frontier(const MessageAdversary& adversary,
+                                          const AnalysisOptions& options,
+                                          ViewInterner& interner,
+                                          int first_root, int last_root);
+
+/// Expands `current` by one letter with per-level deduplication.
+FrontierLevel expand_frontier(const MessageAdversary& adversary,
+                              ViewInterner& interner,
+                              const std::vector<PrefixState>& current,
+                              std::size_t max_states, bool keep_links);
+
+/// Builds leaf_component, components, and the separation/broadcastability
+/// flags from analysis.levels.back(); requires num_processes, num_values,
+/// and the leaves to be in place.
+void compute_components(const AnalysisOptions& options,
+                        DepthAnalysis& analysis);
+
 /// Reconstructs a concrete run prefix (inputs + graphs) that belongs to the
 /// given leaf class, by walking the BFS tree backwards. Requires
 /// keep_levels. Returns nullopt only if the leaf index is invalid.

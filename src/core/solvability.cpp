@@ -15,6 +15,17 @@ const char* to_string(SolvabilityVerdict verdict) {
 
 SolvabilityResult check_solvability(const MessageAdversary& adversary,
                                     const SolvabilityOptions& options) {
+  return check_solvability_with(
+      adversary, options,
+      [&adversary](const AnalysisOptions& analysis_options,
+                   const std::shared_ptr<ViewInterner>& interner) {
+        return analyze_depth(adversary, analysis_options, interner);
+      });
+}
+
+SolvabilityResult check_solvability_with(const MessageAdversary& adversary,
+                                         const SolvabilityOptions& options,
+                                         const DepthAnalyzeFn& analyze) {
   SolvabilityResult result;
   result.closure_only = !adversary.is_compact();
   auto interner = std::make_shared<ViewInterner>();
@@ -25,7 +36,7 @@ SolvabilityResult check_solvability(const MessageAdversary& adversary,
     analysis_options.num_values = options.num_values;
     analysis_options.max_states = options.max_states;
     analysis_options.keep_levels = false;  // cheap pass first
-    DepthAnalysis cheap = analyze_depth(adversary, analysis_options, interner);
+    DepthAnalysis cheap = analyze(analysis_options, interner);
     if (cheap.truncated) {
       result.verdict = SolvabilityVerdict::kResourceLimit;
       result.analysis = std::move(cheap);
@@ -52,8 +63,7 @@ SolvabilityResult check_solvability(const MessageAdversary& adversary,
       result.certified_depth = depth;
       if (options.build_table) {
         analysis_options.keep_levels = true;
-        DepthAnalysis full =
-            analyze_depth(adversary, analysis_options, interner);
+        DepthAnalysis full = analyze(analysis_options, interner);
         result.table = DecisionTable::build(full, options.strong_validity);
         result.analysis = std::move(full);
       } else {

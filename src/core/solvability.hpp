@@ -22,6 +22,8 @@
 // provide a uniform decision procedure.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -83,5 +85,18 @@ struct SolvabilityResult {
 
 SolvabilityResult check_solvability(const MessageAdversary& adversary,
                                     const SolvabilityOptions& options = {});
+
+/// The iterative-deepening driver behind check_solvability, parameterized
+/// over the per-depth analysis: `analyze` receives the depth's
+/// AnalysisOptions and the interner shared across all depths of this
+/// check, and returns the DepthAnalysis. The parallel sweep engine passes
+/// its sharded analysis here; check_solvability passes analyze_depth.
+/// Keeping one driver guarantees serial and parallel verdicts can only
+/// differ if the analyses differ.
+using DepthAnalyzeFn = std::function<DepthAnalysis(
+    const AnalysisOptions&, const std::shared_ptr<ViewInterner>&)>;
+SolvabilityResult check_solvability_with(const MessageAdversary& adversary,
+                                         const SolvabilityOptions& options,
+                                         const DepthAnalyzeFn& analyze);
 
 }  // namespace topocon

@@ -2,10 +2,40 @@
 
 #include <bit>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace topocon {
 
+namespace {
+
+[[noreturn]] void die(const char* message) {
+  std::fprintf(stderr, "ViewInterner misuse: %s\n", message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void ViewInterner::check_owner() {
+  const std::thread::id self = std::this_thread::get_id();
+  if (owner_.load(std::memory_order_relaxed) == self) return;
+  std::thread::id expected{};
+  if (!owner_.compare_exchange_strong(expected, self,
+                                      std::memory_order_relaxed)) {
+    die(
+        "mutated from a second thread; interners are single-threaded -- "
+        "give each shard its own instance and merge with absorb(), or "
+        "declare a sequential hand-off with attach_to_current_thread()");
+  }
+}
+
+void ViewInterner::attach_to_current_thread() {
+  owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+}
+
 ViewId ViewInterner::base(ProcessId p, Value x) {
+  check_owner();
   assert(p >= 0 && x >= 0);
   const std::uint64_t key =
       (static_cast<std::uint64_t>(p) << 32) | static_cast<std::uint32_t>(x);
@@ -23,8 +53,31 @@ ViewId ViewInterner::base(ProcessId p, Value x) {
 
 ViewId ViewInterner::step(ProcessId q, NodeMask mask,
                           const std::vector<ViewId>& sender_ids) {
+  check_owner();
   assert(mask_contains(mask, q));  // self-loop invariant
-  assert(std::popcount(mask) == static_cast<int>(sender_ids.size()));
+  if (std::popcount(mask) != static_cast<int>(sender_ids.size())) {
+    die("step() sender count does not match the in-mask popcount");
+  }
+#ifndef NDEBUG
+  // The k-th sender id must be the view of the k-th process in the mask
+  // (increasing process order) and all senders must sit at one depth --
+  // the shape advance() produces. Catches hand-rolled unsorted calls.
+  {
+    NodeMask rest = mask;
+    for (const ViewId id : sender_ids) {
+      assert(id >= 0 && static_cast<std::size_t>(id) < nodes_.size() &&
+             "step() sender id not interned here");
+      const int p = std::countr_zero(rest);
+      rest &= rest - 1;
+      const Node& sender = nodes_[static_cast<std::size_t>(id)];
+      assert(sender.process == p &&
+             "step() sender ids not in increasing process (mask) order");
+      assert(sender.depth ==
+                 nodes_[static_cast<std::size_t>(sender_ids.front())].depth &&
+             "step() senders at mixed depths");
+    }
+  }
+#endif
   StepKey key{q, mask, sender_ids};
   const auto it = step_table_.find(key);
   if (it != step_table_.end()) return it->second;
@@ -75,6 +128,27 @@ ViewVector ViewInterner::of_prefix(const RunPrefix& prefix) {
     views = advance(views, g);
   }
   return views;
+}
+
+std::vector<ViewId> ViewInterner::absorb(const ViewInterner& other) {
+  check_owner();
+  std::vector<ViewId> remap;
+  remap.reserve(other.nodes_.size());
+  std::vector<ViewId> senders;
+  for (const Node& node : other.nodes_) {
+    if (node.depth == 0) {
+      remap.push_back(base(node.process, node.input));
+      continue;
+    }
+    senders.clear();
+    senders.reserve(node.senders.size());
+    for (const ViewId id : node.senders) {
+      // Step nodes only reference earlier ids, so the remap entry exists.
+      senders.push_back(remap[static_cast<std::size_t>(id)]);
+    }
+    remap.push_back(step(node.process, node.mask, senders));
+  }
+  return remap;
 }
 
 }  // namespace topocon

@@ -29,7 +29,9 @@
 // cumulative: equality at time t implies equality at all s <= t.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -44,18 +46,30 @@ using ViewId = std::int32_t;
 /// The views of all processes at a common time, indexed by process id.
 using ViewVector = std::vector<ViewId>;
 
-/// Structural interner for process views. Not thread-safe; one instance is
-/// shared by an analysis and any simulations replaying its decision tables.
+/// Structural interner for process views.
+///
+/// Threading contract: an interner is single-threaded state. Mutating
+/// operations (base, step, and everything built on them) bind the
+/// instance to the first mutating thread and abort on mutation from any
+/// other thread; sequential hand-off between threads is legitimate and is
+/// declared with attach_to_current_thread(). Concurrent expansion uses one
+/// interner per shard, merged afterwards with absorb() -- see
+/// runtime/sweep/. One instance is shared by an analysis and any
+/// simulations replaying its decision tables.
 class ViewInterner {
  public:
   ViewInterner() = default;
+  ViewInterner(const ViewInterner&) = delete;
+  ViewInterner& operator=(const ViewInterner&) = delete;
 
   /// Id of the time-0 view of process p with input value x.
   ViewId base(ProcessId p, Value x);
 
   /// Id of the time-t view of process q whose round-t in-mask is `mask` and
   /// whose senders' time-(t-1) views are `sender_ids` (increasing process
-  /// order, one entry per bit of mask).
+  /// order, one entry per bit of mask). Aborts if the sender count does not
+  /// match the mask; debug builds additionally verify that the sender ids
+  /// are listed in mask (= increasing process) order at a common depth.
   ViewId step(ProcessId q, NodeMask mask, const std::vector<ViewId>& sender_ids);
 
   /// Views of all processes at time 0 for the given inputs.
@@ -70,6 +84,19 @@ class ViewInterner {
 
   /// Total number of distinct views interned so far.
   std::size_t size() const { return nodes_.size(); }
+
+  /// Re-interns every view of `other` into this interner (parents before
+  /// children, so sender references resolve) and returns the translation
+  /// vector: remap[id in other] = id in this. Structural dedup makes the
+  /// operation idempotent; the parallel sweep engine uses it to merge
+  /// per-shard interners in a deterministic shard order.
+  std::vector<ViewId> absorb(const ViewInterner& other);
+
+  /// Re-binds the instance to the calling thread. Required before mutating
+  /// an interner that a *different* thread mutated earlier (sequential
+  /// hand-off, e.g. results returned from a worker pool); without it the
+  /// next cross-thread mutation aborts.
+  void attach_to_current_thread();
 
   /// Metadata of an interned view (for reconstruction, debugging, tests).
   struct Node {
@@ -101,9 +128,17 @@ class ViewInterner {
     }
   };
 
+  /// Aborts unless the calling thread owns this interner, claiming
+  /// ownership on the first mutation. Cheap: one relaxed load on the
+  /// owning thread.
+  void check_owner();
+
   std::unordered_map<std::uint64_t, ViewId> base_table_;
   std::unordered_map<StepKey, ViewId, StepKeyHash> step_table_;
   std::vector<Node> nodes_;
+  /// Id of the thread that owns mutation rights; default-constructed until
+  /// the first mutation.
+  std::atomic<std::thread::id> owner_{};
 };
 
 }  // namespace topocon

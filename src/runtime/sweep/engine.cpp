@@ -1,0 +1,361 @@
+#include "runtime/sweep/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+#include "runtime/sweep/parallel_solver.hpp"
+#include "runtime/sweep/thread_pool.hpp"
+
+namespace topocon::sweep {
+
+namespace {
+
+/// Components above this count are aggregated in JSON to keep documents
+/// bounded; the elision is recorded explicitly (components_elided).
+constexpr std::size_t kMaxJsonComponents = 64;
+
+std::atomic<int> g_default_threads{0};
+
+void write_depth_stats(JsonWriter& writer, const DepthStats& stats) {
+  writer.begin_object();
+  writer.member("depth", stats.depth);
+  writer.member("leaf_classes", stats.num_leaf_classes);
+  writer.member("components", stats.num_components);
+  writer.member("merged", stats.merged_components);
+  writer.member("separated", stats.separated);
+  writer.member("valent_broadcastable", stats.valent_broadcastable);
+  writer.member("strong_assignable", stats.strong_assignable);
+  writer.member("interner_views", stats.interner_views);
+  writer.end_object();
+}
+
+void write_record(JsonWriter& writer, const JobRecord& record) {
+  writer.begin_object();
+  writer.member("family", record.family);
+  writer.member("label", record.label);
+  writer.member("n", record.n);
+  writer.member("kind", to_string(record.kind));
+  if (record.kind == JobKind::kSolvability) {
+    writer.member("verdict", record.verdict);
+    writer.member("certified_depth", record.certified_depth);
+    writer.member("closure_only", record.closure_only);
+    writer.key("per_depth");
+    writer.begin_array();
+    for (const DepthStats& stats : record.per_depth) {
+      write_depth_stats(writer, stats);
+    }
+    writer.end_array();
+    if (record.final_analysis.has_value()) {
+      const JobRecord::FinalAnalysis& final_analysis =
+          *record.final_analysis;
+      writer.key("final_analysis");
+      writer.begin_object();
+      writer.member("final_depth", final_analysis.depth);
+      writer.member("leaf_classes", final_analysis.leaf_classes);
+      writer.member("num_components", final_analysis.num_components);
+      if (final_analysis.components.size() <
+          final_analysis.num_components) {
+        writer.member("components_elided",
+                      final_analysis.num_components -
+                          final_analysis.components.size());
+      }
+      writer.key("components");
+      writer.begin_array();
+      for (const ComponentInfo& info : final_analysis.components) {
+        writer.begin_object();
+        writer.member("leaves", static_cast<std::int64_t>(info.num_leaves));
+        writer.member("valence_mask",
+                      static_cast<std::int64_t>(info.valence_mask));
+        writer.member("common_broadcast",
+                      static_cast<std::int64_t>(info.common_broadcast));
+        writer.member("broadcasters",
+                      static_cast<std::int64_t>(info.broadcasters));
+        writer.member("common_input_values",
+                      static_cast<std::int64_t>(info.common_input_values));
+        writer.member("assigned_value", info.assigned_value);
+        writer.member("assigned_value_strong", info.assigned_value_strong);
+        writer.end_object();
+      }
+      writer.end_array();
+      writer.end_object();
+    }
+    if (record.table.has_value()) {
+      writer.key("table");
+      writer.begin_object();
+      writer.member("entries", record.table->entries);
+      writer.member("worst_decision_round",
+                    record.table->worst_decision_round);
+      writer.end_object();
+    }
+  } else {
+    writer.key("series");
+    writer.begin_array();
+    for (const DepthStats& stats : record.series) {
+      write_depth_stats(writer, stats);
+    }
+    writer.end_array();
+  }
+  writer.end_object();
+}
+
+}  // namespace
+
+JobRecord summarize(const JobOutcome& outcome) {
+  JobRecord record;
+  record.family = outcome.family;
+  record.label = outcome.label;
+  record.n = outcome.n;
+  record.kind = outcome.kind;
+  record.verdict = to_string(outcome.result.verdict);
+  record.certified_depth = outcome.result.certified_depth;
+  record.closure_only = outcome.result.closure_only;
+  record.per_depth = outcome.result.per_depth;
+  record.series = outcome.series;
+  if (outcome.result.analysis.has_value()) {
+    const DepthAnalysis& analysis = *outcome.result.analysis;
+    JobRecord::FinalAnalysis final_analysis;
+    final_analysis.depth = analysis.depth;
+    final_analysis.leaf_classes =
+        static_cast<std::uint64_t>(analysis.leaves().size());
+    final_analysis.num_components =
+        static_cast<std::uint64_t>(analysis.components.size());
+    final_analysis.components.assign(
+        analysis.components.begin(),
+        analysis.components.begin() +
+            static_cast<std::ptrdiff_t>(std::min(analysis.components.size(),
+                                                 kMaxJsonComponents)));
+    record.final_analysis = std::move(final_analysis);
+  }
+  if (outcome.result.table.has_value()) {
+    JobRecord::Table table;
+    table.entries =
+        static_cast<std::uint64_t>(outcome.result.table->size());
+    table.worst_decision_round =
+        outcome.result.table->worst_case_decision_round();
+    record.table = table;
+  }
+  return record;
+}
+
+const char* to_string(JobKind kind) {
+  switch (kind) {
+    case JobKind::kSolvability: return "solvability";
+    case JobKind::kDepthSeries: return "depth_series";
+  }
+  return "?";
+}
+
+SweepJob solvability_job(const FamilyPoint& point,
+                         const SolvabilityOptions& options) {
+  SweepJob job;
+  job.family = point.family;
+  job.label = family_point_label(point);
+  job.n = point.n;
+  job.make = [point] { return make_family_adversary(point); };
+  job.kind = JobKind::kSolvability;
+  job.solve = options;
+  return job;
+}
+
+SweepJob series_job(const FamilyPoint& point, const AnalysisOptions& options) {
+  SweepJob job;
+  job.family = point.family;
+  job.label = family_point_label(point);
+  job.n = point.n;
+  job.make = [point] { return make_family_adversary(point); };
+  job.kind = JobKind::kDepthSeries;
+  job.analysis = options;
+  return job;
+}
+
+void set_default_num_threads(int threads) {
+  g_default_threads.store(threads, std::memory_order_relaxed);
+}
+
+int default_num_threads() {
+  return resolve_threads(g_default_threads.load(std::memory_order_relaxed));
+}
+
+std::vector<JobOutcome> run_sweep(const SweepSpec& spec) {
+  const int threads =
+      spec.num_threads > 0 ? spec.num_threads : default_num_threads();
+  ThreadPool pool(threads);
+  std::vector<JobOutcome> outcomes(spec.jobs.size());
+
+  pool.parallel_for(spec.jobs.size(), [&](std::size_t j) {
+    const SweepJob& job = spec.jobs[j];
+    JobOutcome& outcome = outcomes[j];
+    outcome.family = job.family;
+    outcome.label = job.label;
+    outcome.n = job.n;
+    outcome.kind = job.kind;
+    const auto start = std::chrono::steady_clock::now();
+    const std::unique_ptr<MessageAdversary> adversary = job.make();
+    if (job.kind == JobKind::kSolvability) {
+      outcome.result =
+          parallel_check_solvability(*adversary, job.solve, pool);
+    } else {
+      auto interner = std::make_shared<ViewInterner>();
+      for (int depth = 1; depth <= job.analysis.depth; ++depth) {
+        AnalysisOptions per_depth = job.analysis;
+        per_depth.depth = depth;
+        per_depth.keep_levels = false;
+        const DepthAnalysis analysis =
+            parallel_analyze_depth(*adversary, per_depth, pool, interner);
+        if (analysis.truncated) break;
+        DepthStats stats;
+        stats.depth = depth;
+        stats.num_leaf_classes = analysis.leaves().size();
+        stats.num_components = static_cast<int>(analysis.components.size());
+        stats.merged_components = analysis.merged_components;
+        stats.separated = analysis.valence_separated;
+        stats.valent_broadcastable = analysis.valent_broadcastable;
+        stats.strong_assignable = analysis.strong_assignable;
+        stats.interner_views = interner->size();
+        outcome.series.push_back(stats);
+      }
+    }
+    outcome.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+  });
+
+  // Jobs ran on pool threads; re-home their interners so the caller can
+  // replay tables and analyses directly.
+  for (JobOutcome& outcome : outcomes) {
+    if (outcome.result.analysis.has_value() &&
+        outcome.result.analysis->interner) {
+      outcome.result.analysis->interner->attach_to_current_thread();
+    }
+    if (outcome.result.table.has_value()) {
+      outcome.result.table->interner()->attach_to_current_thread();
+    }
+  }
+
+  if (spec.record) {
+    SweepRegistry::instance().record(spec.name, outcomes);
+  }
+  return outcomes;
+}
+
+void write_sweep_json(JsonWriter& writer, const std::string& name,
+                      const std::vector<JobRecord>& records) {
+  writer.begin_object();
+  writer.member("name", name);
+  writer.key("jobs");
+  writer.begin_array();
+  for (const JobRecord& record : records) {
+    write_record(writer, record);
+  }
+  writer.end_array();
+  writer.end_object();
+}
+
+void write_sweep_json(JsonWriter& writer, const std::string& name,
+                      const std::vector<JobOutcome>& outcomes) {
+  std::vector<JobRecord> records;
+  records.reserve(outcomes.size());
+  for (const JobOutcome& outcome : outcomes) {
+    records.push_back(summarize(outcome));
+  }
+  write_sweep_json(writer, name, records);
+}
+
+SweepRegistry& SweepRegistry::instance() {
+  static SweepRegistry registry;
+  return registry;
+}
+
+void SweepRegistry::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = enabled;
+}
+
+bool SweepRegistry::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enabled_;
+}
+
+void SweepRegistry::record(const std::string& name,
+                           const std::vector<JobOutcome>& outcomes) {
+  // Summarize outside the lock: only the JSON-visible aggregates are
+  // retained, never the analysis levels or decision tables.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!enabled_) return;
+  }
+  std::vector<JobRecord> records;
+  records.reserve(outcomes.size());
+  for (const JobOutcome& outcome : outcomes) {
+    records.push_back(summarize(outcome));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return;
+  sweeps_.emplace_back(name, std::move(records));
+}
+
+bool SweepRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sweeps_.empty();
+}
+
+void SweepRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sweeps_.clear();
+}
+
+void SweepRegistry::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter writer(out);
+  writer.begin_object();
+  writer.member("schema", "topocon-sweep-v1");
+  writer.key("sweeps");
+  writer.begin_array();
+  for (const auto& [name, records] : sweeps_) {
+    write_sweep_json(writer, name, records);
+  }
+  writer.end_array();
+  writer.end_object();
+  out << '\n';
+}
+
+SweepCliOptions consume_sweep_args(int* argc, char** argv) {
+  SweepCliOptions options;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--sweep-threads=", 16) == 0) {
+      set_default_num_threads(std::atoi(arg + 16));
+      continue;
+    }
+    if (std::strncmp(arg, "--sweep-json=", 13) == 0) {
+      options.json_path = arg + 13;
+      SweepRegistry::instance().set_enabled(true);
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  *argc = kept;
+  return options;
+}
+
+bool flush_sweep_json(const SweepCliOptions& options) {
+  if (options.json_path.empty()) return true;
+  std::ofstream out(options.json_path);
+  if (!out) {
+    std::fprintf(stderr, "sweep: cannot write %s\n",
+                 options.json_path.c_str());
+    return false;
+  }
+  SweepRegistry::instance().write_json(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace topocon::sweep

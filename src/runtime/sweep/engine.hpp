@@ -1,0 +1,178 @@
+// The parallel adversary-sweep engine.
+//
+// A SweepSpec is a batch of independent solver jobs -- adversary family x
+// n x parameter grid -- executed concurrently on one work-helping thread
+// pool: jobs run in parallel, and inside every job the depth-t prefix
+// expansion is root-sharded over the same pool (parallel_solver.hpp).
+// Results come back in job order with every field independent of the
+// thread count, so sweeps are reproducible artifacts: running with 1 or
+// 64 threads yields byte-identical JSON.
+//
+// The engine replaces the per-family driver loops that used to be
+// copy-pasted across bench/bench_*.cpp and the examples: a bench now
+// declares its grid, calls run_sweep, and renders its table from the
+// outcomes. Every run_sweep invocation also records its outcomes in a
+// process-global registry which the bench binaries serialize with
+// --sweep-json=PATH (thread count is set with --sweep-threads=N), giving
+// the bench trajectory a machine-readable format.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adversary/family.hpp"
+#include "core/solvability.hpp"
+#include "runtime/sweep/json.hpp"
+
+namespace topocon::sweep {
+
+enum class JobKind {
+  /// Iterative-deepening solvability check (parallel_check_solvability).
+  kSolvability,
+  /// Depth-by-depth epsilon-approximation series for depths 1..max,
+  /// continuing past separation (the E4/E6/E7 convergence curves).
+  kDepthSeries,
+};
+
+const char* to_string(JobKind kind);
+
+struct SweepJob {
+  std::string family;
+  std::string label;
+  int n = 2;
+  /// Factory invoked inside the worker; adversaries are built per job so
+  /// jobs share no mutable state.
+  std::function<std::unique_ptr<MessageAdversary>()> make;
+  JobKind kind = JobKind::kSolvability;
+  /// Solver options for kSolvability jobs.
+  SolvabilityOptions solve;
+  /// Per-depth options for kDepthSeries jobs; `analysis.depth` is the
+  /// maximum depth of the series (the series stops early on truncation).
+  AnalysisOptions analysis;
+};
+
+/// A named grid point turned into a solvability job.
+SweepJob solvability_job(const FamilyPoint& point,
+                         const SolvabilityOptions& options = {});
+
+/// A named grid point turned into a depth-series job.
+SweepJob series_job(const FamilyPoint& point, const AnalysisOptions& options);
+
+struct JobOutcome {
+  std::string family;
+  std::string label;
+  int n = 2;
+  JobKind kind = JobKind::kSolvability;
+  /// Filled for kSolvability jobs.
+  SolvabilityResult result;
+  /// Filled for kDepthSeries jobs: one entry per completed depth.
+  std::vector<DepthStats> series;
+  /// Wall-clock seconds of this job (informational; never serialized --
+  /// it is the one thread-count-dependent field).
+  double wall_seconds = 0;
+};
+
+struct SweepSpec {
+  /// Name under which the outcomes are recorded (JSON "name" field).
+  std::string name;
+  std::vector<SweepJob> jobs;
+  /// 0 = default_num_threads().
+  int num_threads = 0;
+  /// Record outcomes in the global SweepRegistry (for --sweep-json).
+  bool record = true;
+};
+
+/// Runs all jobs of the spec. Outcomes are indexed like spec.jobs;
+/// interners inside the outcomes are re-homed to the calling thread.
+std::vector<JobOutcome> run_sweep(const SweepSpec& spec);
+
+/// Default thread count for SweepSpec.num_threads == 0 and for examples:
+/// set from --sweep-threads; 0 (the initial value) resolves to
+/// hardware_concurrency().
+void set_default_num_threads(int threads);
+int default_num_threads();
+
+/// What the registry retains (and the JSON contains) per job: the
+/// aggregate statistics only, never the heavyweight analysis levels or
+/// decision tables a JobOutcome may carry.
+struct JobRecord {
+  std::string family;
+  std::string label;
+  int n = 2;
+  JobKind kind = JobKind::kSolvability;
+  std::string verdict;
+  int certified_depth = -1;
+  bool closure_only = false;
+  std::vector<DepthStats> per_depth;  // kSolvability
+  std::vector<DepthStats> series;     // kDepthSeries
+  struct FinalAnalysis {
+    int depth = 0;
+    std::uint64_t leaf_classes = 0;
+    /// Total component count; `components` holds at most the JSON cap.
+    std::uint64_t num_components = 0;
+    std::vector<ComponentInfo> components;
+  };
+  std::optional<FinalAnalysis> final_analysis;
+  struct Table {
+    std::uint64_t entries = 0;
+    int worst_decision_round = 0;
+  };
+  std::optional<Table> table;
+};
+
+/// Extracts the JSON-visible aggregates of an outcome.
+JobRecord summarize(const JobOutcome& outcome);
+
+/// Serializes records/outcomes as one {"name": ..., "jobs": [...]} object.
+void write_sweep_json(JsonWriter& writer, const std::string& name,
+                      const std::vector<JobRecord>& records);
+void write_sweep_json(JsonWriter& writer, const std::string& name,
+                      const std::vector<JobOutcome>& outcomes);
+
+/// Process-global accumulation of every recorded sweep, in run order.
+/// Disabled by default so sweeps cost no retained memory; enabled by
+/// consume_sweep_args when --sweep-json is requested (or explicitly via
+/// set_enabled). While disabled, record() is a no-op.
+class SweepRegistry {
+ public:
+  static SweepRegistry& instance();
+
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+  void record(const std::string& name, const std::vector<JobOutcome>& outcomes);
+  bool empty() const;
+  void clear();
+
+  /// {"schema": "topocon-sweep-v1", "sweeps": [...]} of everything
+  /// recorded so far.
+  void write_json(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mutex_;
+  bool enabled_ = false;
+  std::vector<std::pair<std::string, std::vector<JobRecord>>> sweeps_;
+};
+
+/// CLI plumbing shared by the bench binaries and examples.
+struct SweepCliOptions {
+  /// Destination of the registry dump; empty = no dump.
+  std::string json_path;
+};
+
+/// Strips --sweep-threads=N and --sweep-json=PATH from argv (so they can
+/// precede google-benchmark's own argument parsing) and applies the
+/// thread default immediately.
+SweepCliOptions consume_sweep_args(int* argc, char** argv);
+
+/// Writes the registry to options.json_path if set. Returns false (after
+/// printing to stderr) when the file cannot be written.
+bool flush_sweep_json(const SweepCliOptions& options);
+
+}  // namespace topocon::sweep

@@ -1,0 +1,110 @@
+#include "runtime/sweep/json.hpp"
+
+#include <cstdio>
+
+namespace topocon::sweep {
+
+std::string json_escape(std::string_view text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\r': escaped += "\\r"; break;
+      case '\t': escaped += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(c));
+          escaped += buffer;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+void JsonWriter::separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!scopes_.empty()) {
+    if (!first_.back()) out_ << ',';
+    first_.back() = false;
+    out_ << '\n';
+    indent();
+  }
+}
+
+void JsonWriter::indent() {
+  for (std::size_t i = 0; i < scopes_.size(); ++i) out_ << "  ";
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  out_ << '{';
+  scopes_.push_back(Scope::kObject);
+  first_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  const bool empty = first_.back();
+  scopes_.pop_back();
+  first_.pop_back();
+  if (!empty) {
+    out_ << '\n';
+    indent();
+  }
+  out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  out_ << '[';
+  scopes_.push_back(Scope::kArray);
+  first_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  const bool empty = first_.back();
+  scopes_.pop_back();
+  first_.pop_back();
+  if (!empty) {
+    out_ << '\n';
+    indent();
+  }
+  out_ << ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+  separate();
+  out_ << '"' << json_escape(name) << "\": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view text) {
+  separate();
+  out_ << '"' << json_escape(text) << '"';
+}
+
+void JsonWriter::value(bool flag) {
+  separate();
+  out_ << (flag ? "true" : "false");
+}
+
+void JsonWriter::value(std::int64_t number) {
+  separate();
+  out_ << number;
+}
+
+void JsonWriter::value(std::uint64_t number) {
+  separate();
+  out_ << number;
+}
+
+}  // namespace topocon::sweep

@@ -1,0 +1,76 @@
+// Minimal deterministic JSON emitter for sweep results.
+//
+// Deliberately tiny: objects and arrays are emitted in call order with
+// stable two-space indentation and no locale dependence, so two runs that
+// produce the same logical results produce byte-identical documents --
+// the property the bench trajectory and the determinism tests rely on.
+// Only the types the sweep engine needs are supported (strings, integers,
+// booleans, nested containers); no floating point, whose formatting is
+// the classic source of cross-run diffs.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace topocon::sweep {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits the key of the next member (objects only).
+  void key(std::string_view name);
+
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view(text)); }
+  void value(bool flag);
+  void value(std::int64_t number);
+  void value(std::uint64_t number);
+  /// Any other integer type (int, std::size_t, ...) widens to the exact
+  /// 64-bit overloads, so call sites stay portable across platforms where
+  /// size_t is a distinct type from uint64_t.
+  template <typename T>
+    requires std::integral<T> && (!std::same_as<T, bool>) &&
+             (!std::same_as<T, std::int64_t>) &&
+             (!std::same_as<T, std::uint64_t>)
+  void value(T number) {
+    if constexpr (std::is_signed_v<T>) {
+      value(static_cast<std::int64_t>(number));
+    } else {
+      value(static_cast<std::uint64_t>(number));
+    }
+  }
+
+  /// key + value in one call.
+  template <typename T>
+  void member(std::string_view name, T&& v) {
+    key(name);
+    value(std::forward<T>(v));
+  }
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void separate();
+  void indent();
+
+  std::ostream& out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+};
+
+/// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
+std::string json_escape(std::string_view text);
+
+}  // namespace topocon::sweep

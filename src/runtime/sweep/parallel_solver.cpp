@@ -1,0 +1,208 @@
+#include "runtime/sweep/parallel_solver.hpp"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace topocon::sweep {
+
+namespace {
+
+// One root's expansion state: a private interner plus the recorded levels.
+// With keep_levels every level and its tree links are kept; otherwise only
+// the deepest complete level (the prospective leaves) and the per-level
+// sizes needed for the global truncation accounting.
+struct Shard {
+  ViewInterner interner;
+  std::vector<std::vector<PrefixState>> levels;
+  std::vector<std::vector<std::pair<int, int>>> first_parent;
+  std::vector<std::vector<std::vector<int>>> children;
+  std::vector<std::size_t> level_sizes;
+  /// Level whose expansion alone exceeded max_states; -1 if none.
+  int truncated_at = -1;
+
+  bool has_level(int s) const {
+    return truncated_at < 0 || s < truncated_at;
+  }
+};
+
+void expand_shard(const MessageAdversary& adversary,
+                  const AnalysisOptions& options, int root, int depth,
+                  Shard& shard) {
+  std::vector<PrefixState> current =
+      initial_frontier(adversary, options, shard.interner, root, root + 1);
+  shard.level_sizes.push_back(current.size());
+  if (options.keep_levels) {
+    shard.levels.push_back(current);
+    shard.first_parent.push_back(
+        std::vector<std::pair<int, int>>(current.size(), {-1, -1}));
+  }
+  for (int s = 1; s <= depth; ++s) {
+    FrontierLevel level =
+        expand_frontier(adversary, shard.interner, current,
+                        options.max_states, options.keep_levels);
+    if (level.overflow) {
+      shard.truncated_at = s;
+      break;
+    }
+    current = std::move(level.states);
+    shard.level_sizes.push_back(current.size());
+    if (options.keep_levels) {
+      shard.children.push_back(std::move(level.children));
+      shard.levels.push_back(current);
+      shard.first_parent.push_back(std::move(level.first_parent));
+    }
+  }
+  if (!options.keep_levels) {
+    shard.levels.push_back(std::move(current));
+  }
+}
+
+/// First level at which the *merged* expansion would exceed max_states
+/// (the serial overflow condition), or depth + 1 if none. A shard missing
+/// a level implies that level's total exceeds the budget too.
+int merged_cut(const std::vector<Shard>& shards, int depth,
+               std::size_t max_states) {
+  for (int s = 1; s <= depth; ++s) {
+    std::size_t total = 0;
+    for (const Shard& shard : shards) {
+      if (!shard.has_level(s)) return s;
+      total += shard.level_sizes[static_cast<std::size_t>(s)];
+    }
+    if (total > max_states) return s;
+  }
+  return depth + 1;
+}
+
+}  // namespace
+
+DepthAnalysis parallel_analyze_depth(const MessageAdversary& adversary,
+                                     const AnalysisOptions& options,
+                                     ThreadPool& pool,
+                                     std::shared_ptr<ViewInterner> interner) {
+  const int n = adversary.num_processes();
+  DepthAnalysis analysis;
+  analysis.num_values = options.num_values;
+  analysis.num_processes = n;
+  analysis.interner =
+      interner ? std::move(interner) : std::make_shared<ViewInterner>();
+
+  const auto num_roots = static_cast<int>(
+      all_input_vectors(n, options.num_values).size());
+
+  // ---- Phase 1: expand every root to the requested depth.
+  std::vector<Shard> shards(static_cast<std::size_t>(num_roots));
+  pool.parallel_for(static_cast<std::size_t>(num_roots), [&](std::size_t r) {
+    expand_shard(adversary, options, static_cast<int>(r), options.depth,
+                 shards[r]);
+  });
+
+  // ---- Truncation: cut at the first level whose merged size would have
+  // overflowed the serial BFS, and redo the (rare, shallower) expansion so
+  // every shard holds exactly the levels below the cut.
+  const int cut = merged_cut(shards, options.depth, options.max_states);
+  analysis.truncated = cut <= options.depth;
+  const int reached = analysis.truncated ? cut - 1 : options.depth;
+  if (analysis.truncated) {
+    std::vector<Shard> redone(static_cast<std::size_t>(num_roots));
+    pool.parallel_for(static_cast<std::size_t>(num_roots),
+                      [&](std::size_t r) {
+                        expand_shard(adversary, options, static_cast<int>(r),
+                                     reached, redone[r]);
+                      });
+    shards = std::move(redone);
+  }
+  analysis.depth = reached;
+
+  // ---- Deterministic merge, in root order.
+  std::vector<std::vector<ViewId>> remap(
+      static_cast<std::size_t>(num_roots));
+  for (std::size_t r = 0; r < shards.size(); ++r) {
+    remap[r] = analysis.interner->absorb(shards[r].interner);
+  }
+  // offsets[s][r] = index offset of shard r within merged level s.
+  const auto offsets_of = [&](int s) {
+    std::vector<int> offsets(shards.size() + 1, 0);
+    for (std::size_t r = 0; r < shards.size(); ++r) {
+      const std::size_t local =
+          options.keep_levels
+              ? shards[r].levels[static_cast<std::size_t>(s)].size()
+              : shards[r].levels.back().size();
+      offsets[r + 1] = offsets[r] + static_cast<int>(local);
+    }
+    return offsets;
+  };
+  const auto merge_level = [&](int s) {
+    std::vector<PrefixState> merged;
+    for (std::size_t r = 0; r < shards.size(); ++r) {
+      const std::vector<PrefixState>& local =
+          options.keep_levels ? shards[r].levels[static_cast<std::size_t>(s)]
+                              : shards[r].levels.back();
+      for (const PrefixState& state : local) {
+        PrefixState copy = state;
+        for (ViewId& id : copy.views) {
+          id = remap[r][static_cast<std::size_t>(id)];
+        }
+        merged.push_back(std::move(copy));
+      }
+    }
+    return merged;
+  };
+
+  if (options.keep_levels) {
+    std::vector<std::vector<int>> offsets;
+    offsets.reserve(static_cast<std::size_t>(reached) + 1);
+    for (int s = 0; s <= reached; ++s) offsets.push_back(offsets_of(s));
+    for (int s = 0; s <= reached; ++s) {
+      analysis.levels.push_back(merge_level(s));
+      std::vector<std::pair<int, int>> parents;
+      for (std::size_t r = 0; r < shards.size(); ++r) {
+        for (const auto& [parent, letter] :
+             shards[r].first_parent[static_cast<std::size_t>(s)]) {
+          parents.emplace_back(
+              parent < 0 ? -1 : parent + offsets[static_cast<std::size_t>(
+                                              s - 1)][r],
+              letter);
+        }
+      }
+      analysis.first_parent.push_back(std::move(parents));
+    }
+    for (int s = 0; s < reached; ++s) {
+      std::vector<std::vector<int>> kids;
+      for (std::size_t r = 0; r < shards.size(); ++r) {
+        for (const std::vector<int>& local :
+             shards[r].children[static_cast<std::size_t>(s)]) {
+          std::vector<int> shifted;
+          shifted.reserve(local.size());
+          for (const int child : local) {
+            shifted.push_back(
+                child + offsets[static_cast<std::size_t>(s + 1)][r]);
+          }
+          kids.push_back(std::move(shifted));
+        }
+      }
+      analysis.children.push_back(std::move(kids));
+    }
+  } else {
+    analysis.levels.push_back(merge_level(reached));
+  }
+
+  compute_components(options, analysis);
+  return analysis;
+}
+
+SolvabilityResult parallel_check_solvability(const MessageAdversary& adversary,
+                                             const SolvabilityOptions& options,
+                                             ThreadPool& pool) {
+  // Same iterative-deepening driver as the serial checker; only the
+  // per-depth analysis is swapped for the sharded one.
+  return check_solvability_with(
+      adversary, options,
+      [&adversary, &pool](const AnalysisOptions& analysis_options,
+                          const std::shared_ptr<ViewInterner>& interner) {
+        return parallel_analyze_depth(adversary, analysis_options, pool,
+                                      interner);
+      });
+}
+
+}  // namespace topocon::sweep

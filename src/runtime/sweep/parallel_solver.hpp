@@ -1,0 +1,52 @@
+// Root-sharded parallel depth-t epsilon-approximation.
+//
+// Exactness of the sharding (see also the frontier API notes in
+// core/epsilon_approx.hpp): the BFS dedup key contains every process view
+// and views contain their own inputs, so prefix classes of different
+// input vectors never merge. The depth-t prefix space is therefore the
+// disjoint union of one independent subtree per input vector ("root"),
+// and the serial BFS -- which scans parents in order -- enumerates every
+// level in root-major order. Expanding each root in its own shard with a
+// private ViewInterner and concatenating the shard levels in root order
+// hence reproduces the serial analysis *exactly*: same classes, same
+// order, same multiplicities, same components and flags. The only
+// difference is the private numbering of interned view ids, which the
+// deterministic absorb() merge keeps consistent but not serial-identical;
+// no observable field depends on id values, only on id equality.
+//
+// Determinism: shard results are merged in root order after all shards
+// complete, so every field of the returned DepthAnalysis is bit-identical
+// for every thread count (including 1) and equal to the serial
+// analyze_depth() output.
+//
+// Truncation: a level overflows iff the sum of its shard sizes exceeds
+// max_states -- the same condition the serial BFS checks -- so verdicts
+// (including kResourceLimit) agree with the serial path. Each shard also
+// aborts on its own if it alone exceeds the budget, which implies the
+// total does.
+#pragma once
+
+#include <memory>
+
+#include "core/solvability.hpp"
+#include "runtime/sweep/thread_pool.hpp"
+
+namespace topocon::sweep {
+
+/// Parallel analyze_depth(): one shard per input vector, expanded on the
+/// pool. If `interner` is null a fresh one is created; passing one allows
+/// sharing ids across depths (as the serial signature does).
+DepthAnalysis parallel_analyze_depth(
+    const MessageAdversary& adversary, const AnalysisOptions& options,
+    ThreadPool& pool, std::shared_ptr<ViewInterner> interner = nullptr);
+
+/// Parallel check_solvability(): the iterative-deepening driver with each
+/// depth's expansion sharded over the pool. Same contract and same
+/// results as the serial checker. Interners inside the returned result
+/// are re-homed to the calling thread, so tables and analyses can be used
+/// directly by the caller.
+SolvabilityResult parallel_check_solvability(const MessageAdversary& adversary,
+                                             const SolvabilityOptions& options,
+                                             ThreadPool& pool);
+
+}  // namespace topocon::sweep

@@ -1,0 +1,318 @@
+// Unit tests for the parallel sweep engine: thread-pool semantics
+// (including nesting), exact agreement of the sharded depth analysis with
+// the serial one, SweepSpec execution with deterministic result ordering,
+// and byte-identical JSON across thread counts.
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adversary/family.hpp"
+#include "adversary/lossy_link.hpp"
+#include "adversary/omission.hpp"
+#include "core/solvability.hpp"
+#include "runtime/sweep/engine.hpp"
+#include "runtime/sweep/json.hpp"
+#include "runtime/sweep/parallel_solver.hpp"
+#include "runtime/sweep/thread_pool.hpp"
+
+namespace topocon {
+namespace {
+
+using sweep::JobKind;
+using sweep::JobOutcome;
+using sweep::JsonWriter;
+using sweep::SweepSpec;
+using sweep::ThreadPool;
+
+// ---- ThreadPool ---------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(97);
+    pool.parallel_for(hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& hit : hits) {
+      EXPECT_EQ(hit.load(), 1);
+    }
+  }
+}
+
+TEST(ThreadPool, EmptyBatchReturnsImmediately) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  pool.parallel_for(5, [&](std::size_t) {
+    pool.parallel_for(7, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 35);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [](std::size_t i) {
+                                   if (i == 3) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_EQ(sweep::resolve_threads(4), 4);
+  EXPECT_GE(sweep::resolve_threads(0), 1);
+}
+
+// ---- parallel_analyze_depth vs analyze_depth ----------------------------
+
+void expect_analysis_equal(const DepthAnalysis& serial,
+                           const DepthAnalysis& parallel) {
+  ASSERT_EQ(serial.depth, parallel.depth);
+  ASSERT_EQ(serial.truncated, parallel.truncated);
+  ASSERT_EQ(serial.levels.size(), parallel.levels.size());
+  for (std::size_t s = 0; s < serial.levels.size(); ++s) {
+    ASSERT_EQ(serial.levels[s].size(), parallel.levels[s].size())
+        << "level " << s;
+    for (std::size_t i = 0; i < serial.levels[s].size(); ++i) {
+      const PrefixState& a = serial.levels[s][i];
+      const PrefixState& b = parallel.levels[s][i];
+      EXPECT_EQ(a.inputs, b.inputs) << "level " << s << " state " << i;
+      EXPECT_EQ(a.reach, b.reach);
+      EXPECT_EQ(a.adv_state, b.adv_state);
+      EXPECT_EQ(a.multiplicity, b.multiplicity);
+    }
+  }
+  EXPECT_EQ(serial.first_parent, parallel.first_parent);
+  EXPECT_EQ(serial.children, parallel.children);
+  EXPECT_EQ(serial.leaf_component, parallel.leaf_component);
+  ASSERT_EQ(serial.components.size(), parallel.components.size());
+  for (std::size_t c = 0; c < serial.components.size(); ++c) {
+    const ComponentInfo& a = serial.components[c];
+    const ComponentInfo& b = parallel.components[c];
+    EXPECT_EQ(a.num_leaves, b.num_leaves) << "component " << c;
+    EXPECT_EQ(a.valence_mask, b.valence_mask);
+    EXPECT_EQ(a.common_broadcast, b.common_broadcast);
+    EXPECT_EQ(a.broadcasters, b.broadcasters);
+    EXPECT_EQ(a.common_input_values, b.common_input_values);
+    EXPECT_EQ(a.assigned_value, b.assigned_value);
+    EXPECT_EQ(a.assigned_value_strong, b.assigned_value_strong);
+  }
+  EXPECT_EQ(serial.valence_separated, parallel.valence_separated);
+  EXPECT_EQ(serial.merged_components, parallel.merged_components);
+  EXPECT_EQ(serial.valent_broadcastable, parallel.valent_broadcastable);
+  EXPECT_EQ(serial.strong_assignable, parallel.strong_assignable);
+  // Interner ids are a relabeling, but equality structure must agree:
+  // two leaves share process p's view serially iff they do in parallel.
+  const auto& sl = serial.leaves();
+  const auto& pl = parallel.leaves();
+  for (std::size_t i = 0; i < sl.size(); ++i) {
+    for (std::size_t j = i + 1; j < sl.size() && j < i + 16; ++j) {
+      for (std::size_t p = 0; p < sl[i].views.size(); ++p) {
+        EXPECT_EQ(sl[i].views[p] == sl[j].views[p],
+                  pl[i].views[p] == pl[j].views[p]);
+      }
+    }
+  }
+}
+
+TEST(ParallelAnalyze, MatchesSerialOnLossyLink) {
+  for (const unsigned mask : {0b011u, 0b101u, 0b111u}) {
+    const auto ma = make_lossy_link(mask);
+    for (const bool keep_levels : {false, true}) {
+      AnalysisOptions options;
+      options.depth = 4;
+      options.keep_levels = keep_levels;
+      const DepthAnalysis serial = analyze_depth(*ma, options);
+      for (const int threads : {1, 2, 4}) {
+        ThreadPool pool(threads);
+        expect_analysis_equal(
+            serial, sweep::parallel_analyze_depth(*ma, options, pool));
+      }
+    }
+  }
+}
+
+TEST(ParallelAnalyze, MatchesSerialOnOmissionN3) {
+  const auto ma = make_omission_adversary(3, 1);
+  AnalysisOptions options;
+  options.depth = 2;
+  options.max_states = 6'000'000;
+  options.keep_levels = false;
+  const DepthAnalysis serial = analyze_depth(*ma, options);
+  ThreadPool pool(3);
+  expect_analysis_equal(serial,
+                        sweep::parallel_analyze_depth(*ma, options, pool));
+}
+
+TEST(ParallelAnalyze, TruncationMatchesSerial) {
+  const auto ma = make_lossy_link(0b111);
+  AnalysisOptions options;
+  options.depth = 6;
+  options.max_states = 50;  // overflows at some level > 1
+  const DepthAnalysis serial = analyze_depth(*ma, options);
+  ASSERT_TRUE(serial.truncated);
+  for (const int threads : {1, 3}) {
+    ThreadPool pool(threads);
+    const DepthAnalysis parallel =
+        sweep::parallel_analyze_depth(*ma, options, pool);
+    EXPECT_TRUE(parallel.truncated);
+    EXPECT_EQ(parallel.depth, serial.depth);
+    EXPECT_EQ(parallel.leaves().size(), serial.leaves().size());
+  }
+}
+
+TEST(ParallelCheck, AgreesWithSerialVerdicts) {
+  for (const unsigned mask : {0b011u, 0b100u, 0b111u}) {
+    const auto ma = make_lossy_link(mask);
+    SolvabilityOptions options;
+    options.max_depth = 5;
+    const SolvabilityResult serial = check_solvability(*ma, options);
+    ThreadPool pool(2);
+    const SolvabilityResult parallel =
+        sweep::parallel_check_solvability(*ma, options, pool);
+    EXPECT_EQ(parallel.verdict, serial.verdict);
+    EXPECT_EQ(parallel.certified_depth, serial.certified_depth);
+    EXPECT_EQ(parallel.per_depth.size(), serial.per_depth.size());
+    for (std::size_t d = 0; d < serial.per_depth.size(); ++d) {
+      EXPECT_EQ(parallel.per_depth[d].num_leaf_classes,
+                serial.per_depth[d].num_leaf_classes);
+      EXPECT_EQ(parallel.per_depth[d].num_components,
+                serial.per_depth[d].num_components);
+      EXPECT_EQ(parallel.per_depth[d].interner_views,
+                serial.per_depth[d].interner_views);
+    }
+    EXPECT_EQ(parallel.table.has_value(), serial.table.has_value());
+    if (serial.table.has_value()) {
+      EXPECT_EQ(parallel.table->size(), serial.table->size());
+      EXPECT_EQ(parallel.table->worst_case_decision_round(),
+                serial.table->worst_case_decision_round());
+    }
+  }
+}
+
+// ---- SweepSpec / run_sweep ----------------------------------------------
+
+SweepSpec small_spec(int threads) {
+  SweepSpec spec;
+  spec.name = "unit";
+  spec.num_threads = threads;
+  spec.record = false;
+  SolvabilityOptions options;
+  options.max_depth = 5;
+  for (const int mask : {1, 2, 3, 5, 7}) {
+    spec.jobs.push_back(
+        sweep::solvability_job({"lossy_link", 2, mask}, options));
+  }
+  AnalysisOptions series;
+  series.depth = 4;
+  spec.jobs.push_back(sweep::series_job({"lossy_link", 2, 7}, series));
+  return spec;
+}
+
+std::string spec_json(const std::vector<JobOutcome>& outcomes) {
+  std::ostringstream out;
+  JsonWriter writer(out);
+  sweep::write_sweep_json(writer, "unit", outcomes);
+  return out.str();
+}
+
+TEST(RunSweep, DeterministicOrderingAndJsonAcrossThreadCounts) {
+  const std::vector<JobOutcome> base = sweep::run_sweep(small_spec(1));
+  ASSERT_EQ(base.size(), 6u);
+  EXPECT_EQ(base[0].label, "{<-}");
+  EXPECT_EQ(base[5].kind, JobKind::kDepthSeries);
+  const std::string base_json = spec_json(base);
+  for (const int threads : {2, int(std::thread::hardware_concurrency())}) {
+    const std::vector<JobOutcome> outcomes =
+        sweep::run_sweep(small_spec(std::max(threads, 1)));
+    EXPECT_EQ(spec_json(outcomes), base_json)
+        << "JSON differs at " << threads << " threads";
+  }
+}
+
+TEST(RunSweep, SeriesContinuesPastSeparation) {
+  SweepSpec spec;
+  spec.name = "series";
+  spec.record = false;
+  spec.num_threads = 2;
+  AnalysisOptions series;
+  series.depth = 3;
+  spec.jobs.push_back(sweep::series_job({"lossy_link", 2, 0b011}, series));
+  const auto outcomes = sweep::run_sweep(spec);
+  ASSERT_EQ(outcomes.size(), 1u);
+  // The solvable pair separates at depth 1 but the series keeps going.
+  ASSERT_EQ(outcomes[0].series.size(), 3u);
+  EXPECT_TRUE(outcomes[0].series[0].separated);
+  EXPECT_TRUE(outcomes[0].series[2].separated);
+}
+
+TEST(RunSweep, RegistryDisabledByDefaultAndRecordsInRunOrderWhenEnabled) {
+  sweep::SweepRegistry::instance().clear();
+  sweep::SweepRegistry::instance().set_enabled(false);
+  SweepSpec disabled_spec = small_spec(2);
+  disabled_spec.record = true;
+  disabled_spec.jobs.resize(1);
+  sweep::run_sweep(disabled_spec);
+  EXPECT_TRUE(sweep::SweepRegistry::instance().empty())
+      << "registry retained outcomes while disabled";
+
+  sweep::SweepRegistry::instance().set_enabled(true);
+  SweepSpec spec = small_spec(2);
+  spec.record = true;
+  spec.name = "first";
+  spec.jobs.resize(2);
+  sweep::run_sweep(spec);
+  spec.name = "second";
+  sweep::run_sweep(spec);
+  std::ostringstream out;
+  sweep::SweepRegistry::instance().write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("topocon-sweep-v1"), std::string::npos);
+  EXPECT_LT(json.find("\"first\""), json.find("\"second\""));
+  sweep::SweepRegistry::instance().clear();
+  sweep::SweepRegistry::instance().set_enabled(false);
+}
+
+TEST(FamilyAdapters, BuildAndLabelEveryFamily) {
+  EXPECT_EQ(family_point_label({"lossy_link", 2, 0b011}), "{<-, ->}");
+  EXPECT_EQ(family_point_label({"omission", 3, 1}), "n=3 f=1");
+  EXPECT_EQ(family_point_label({"heard_of", 2, 2}), "n=2 k=2");
+  EXPECT_EQ(family_point_label({"windowed_lossy_link", 2, 3}), "w=3");
+  EXPECT_EQ(family_point_label({"vssc", 2, 4}), "n=2 stability=4");
+  EXPECT_EQ(make_family_adversary({"omission", 3, 1})->num_processes(), 3);
+  EXPECT_FALSE(make_family_adversary({"vssc", 2, 2})->is_compact());
+  EXPECT_THROW(make_family_adversary({"nope", 2, 0}), std::invalid_argument);
+  EXPECT_THROW(make_family_adversary({"lossy_link", 3, 1}),
+               std::invalid_argument);
+}
+
+TEST(JsonWriterTest, EscapesAndNests) {
+  std::ostringstream out;
+  JsonWriter writer(out);
+  writer.begin_object();
+  writer.member("a\"b\\c\n", 1);
+  writer.key("list");
+  writer.begin_array();
+  writer.value("x");
+  writer.value(true);
+  writer.value(-7);
+  writer.end_array();
+  writer.end_object();
+  EXPECT_EQ(out.str(),
+            "{\n  \"a\\\"b\\\\c\\n\": 1,\n  \"list\": [\n    \"x\",\n"
+            "    true,\n    -7\n  ]\n}");
+}
+
+}  // namespace
+}  // namespace topocon

@@ -1,0 +1,118 @@
+// Long-running determinism stress for the sweep engine (ctest label:
+// stress; excluded from the default CI matrix, run by the dedicated
+// stress/TSan lanes). Repeats the acceptance checks at full scale: the
+// E5-style omission family sweep must produce byte-identical JSON at 1
+// thread, 8 threads, and hardware_concurrency, and heavyweight analyses
+// must match the serial checker exactly under thread oversubscription.
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adversary/family.hpp"
+#include "core/solvability.hpp"
+#include "runtime/sweep/engine.hpp"
+#include "runtime/sweep/parallel_solver.hpp"
+
+namespace topocon {
+namespace {
+
+sweep::SweepSpec omission_bench_spec(int threads) {
+  sweep::SweepSpec spec;
+  spec.name = "stress-omission-n3";
+  spec.num_threads = threads;
+  spec.record = false;
+  SolvabilityOptions options;
+  options.max_depth = 3;
+  options.max_states = 6'000'000;
+  options.build_table = false;
+  for (int f = 0; f <= 4; ++f) {
+    spec.jobs.push_back(sweep::solvability_job({"omission", 3, f}, options));
+  }
+  return spec;
+}
+
+std::string sweep_json(const std::vector<sweep::JobOutcome>& outcomes) {
+  std::ostringstream out;
+  sweep::JsonWriter writer(out);
+  sweep::write_sweep_json(writer, "stress-omission-n3", outcomes);
+  return out.str();
+}
+
+// The PR acceptance criterion, as a regression test: the full n = 3
+// omission bench sweep yields byte-identical JSON at 1 vs 8 vs
+// hardware_concurrency threads.
+TEST(SweepStress, OmissionBenchJsonByteIdenticalAcrossThreadCounts) {
+  const std::string base = sweep_json(sweep::run_sweep(omission_bench_spec(1)));
+  EXPECT_FALSE(base.empty());
+  for (const int threads :
+       {8, static_cast<int>(std::thread::hardware_concurrency())}) {
+    const std::string json =
+        sweep_json(sweep::run_sweep(omission_bench_spec(std::max(threads, 1))));
+    EXPECT_EQ(json, base) << "JSON differs at " << threads << " threads";
+  }
+}
+
+// Deep windowed analysis (26k leaf classes at w = 1) under an
+// oversubscribed pool: exact agreement with the serial analysis.
+TEST(SweepStress, DeepWindowedAnalysisMatchesSerialOversubscribed) {
+  const auto ma = make_family_adversary({"windowed_lossy_link", 2, 1});
+  AnalysisOptions options;
+  options.depth = 8;
+  options.keep_levels = false;
+  options.max_states = 6'000'000;
+  const DepthAnalysis serial = analyze_depth(*ma, options);
+  const int hw = sweep::resolve_threads(0);
+  sweep::ThreadPool pool(2 * hw + 1);
+  const DepthAnalysis parallel =
+      sweep::parallel_analyze_depth(*ma, options, pool);
+  EXPECT_EQ(parallel.leaf_component, serial.leaf_component);
+  EXPECT_EQ(parallel.components.size(), serial.components.size());
+  EXPECT_EQ(parallel.merged_components, serial.merged_components);
+  EXPECT_EQ(parallel.valence_separated, serial.valence_separated);
+}
+
+// Repeated mixed-family sweeps: run the same heterogeneous spec many
+// times on different pools and require identical JSON every time (hunts
+// scheduling-dependent nondeterminism that single runs can miss).
+TEST(SweepStress, RepeatedMixedSweepsAreStable) {
+  const auto make_spec = [](int threads) {
+    sweep::SweepSpec spec;
+    spec.name = "stress-mixed";
+    spec.num_threads = threads;
+    spec.record = false;
+    SolvabilityOptions solve;
+    solve.max_depth = 5;
+    for (int mask = 1; mask < 8; ++mask) {
+      spec.jobs.push_back(
+          sweep::solvability_job({"lossy_link", 2, mask}, solve));
+    }
+    SolvabilityOptions heard;
+    heard.max_depth = 2;
+    heard.max_states = 6'000'000;
+    heard.build_table = false;
+    spec.jobs.push_back(sweep::solvability_job({"heard_of", 3, 2}, heard));
+    AnalysisOptions series;
+    series.depth = 6;
+    series.keep_levels = false;
+    spec.jobs.push_back(sweep::series_job({"lossy_link", 2, 7}, series));
+    return spec;
+  };
+  std::ostringstream base_out;
+  sweep::JsonWriter base_writer(base_out);
+  sweep::write_sweep_json(base_writer, "stress-mixed",
+                          sweep::run_sweep(make_spec(1)));
+  const std::string base = base_out.str();
+  for (int round = 0; round < 6; ++round) {
+    std::ostringstream out;
+    sweep::JsonWriter writer(out);
+    sweep::write_sweep_json(writer, "stress-mixed",
+                            sweep::run_sweep(make_spec(2 + round)));
+    ASSERT_EQ(out.str(), base) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace topocon

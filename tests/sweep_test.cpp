@@ -3,8 +3,14 @@
 // check, extract, simulate exhaustively, verify T/A/V (+ strong validity
 // where requested) -- across input-domain sizes, window sizes, and
 // adversary parameters.
+//
+// Every sweep is additionally re-run through the parallel engine at 1, 2,
+// and hardware_concurrency() threads; component counts, valence sets, and
+// verdicts must be bit-identical to the serial checker at every thread
+// count (the engine's determinism contract).
 #include <memory>
 #include <sstream>
+#include <thread>
 #include <tuple>
 
 #include <gtest/gtest.h>
@@ -17,11 +23,54 @@
 #include "analysis/oracles.hpp"
 #include "core/solvability.hpp"
 #include "runtime/simulator.hpp"
+#include "runtime/sweep/parallel_solver.hpp"
 #include "runtime/universal_runner.hpp"
 #include "runtime/verify.hpp"
 
 namespace topocon {
 namespace {
+
+// Engine determinism: the parallel checker must reproduce the serial
+// result bit-for-bit at every thread count.
+void expect_parallel_matches(const MessageAdversary& ma,
+                             const SolvabilityOptions& options,
+                             const SolvabilityResult& serial) {
+  const int hw = sweep::resolve_threads(0);
+  for (const int threads : {1, 2, hw}) {
+    sweep::ThreadPool pool(threads);
+    const SolvabilityResult parallel =
+        sweep::parallel_check_solvability(ma, options, pool);
+    ASSERT_EQ(parallel.verdict, serial.verdict)
+        << ma.name() << " at " << threads << " threads";
+    EXPECT_EQ(parallel.certified_depth, serial.certified_depth);
+    ASSERT_EQ(parallel.per_depth.size(), serial.per_depth.size());
+    for (std::size_t d = 0; d < serial.per_depth.size(); ++d) {
+      const DepthStats& a = serial.per_depth[d];
+      const DepthStats& b = parallel.per_depth[d];
+      EXPECT_EQ(a.num_leaf_classes, b.num_leaf_classes);
+      EXPECT_EQ(a.num_components, b.num_components);
+      EXPECT_EQ(a.merged_components, b.merged_components);
+      EXPECT_EQ(a.separated, b.separated);
+      EXPECT_EQ(a.valent_broadcastable, b.valent_broadcastable);
+      EXPECT_EQ(a.strong_assignable, b.strong_assignable);
+    }
+    ASSERT_EQ(parallel.analysis.has_value(), serial.analysis.has_value());
+    if (serial.analysis.has_value()) {
+      const DepthAnalysis& sa = *serial.analysis;
+      const DepthAnalysis& pa = *parallel.analysis;
+      EXPECT_EQ(pa.leaf_component, sa.leaf_component);
+      ASSERT_EQ(pa.components.size(), sa.components.size());
+      for (std::size_t c = 0; c < sa.components.size(); ++c) {
+        EXPECT_EQ(pa.components[c].valence_mask,
+                  sa.components[c].valence_mask)
+            << ma.name() << " component " << c;
+        EXPECT_EQ(pa.components[c].num_leaves, sa.components[c].num_leaves);
+        EXPECT_EQ(pa.components[c].broadcasters,
+                  sa.components[c].broadcasters);
+      }
+    }
+  }
+}
 
 // Runs the full pipeline; asserts solvability matches `expect_solvable`
 // and, when solvable, exhaustively validates the extracted algorithm.
@@ -34,6 +83,7 @@ void pipeline(const MessageAdversary& ma, bool expect_solvable,
   options.max_states = max_states;
   options.strong_validity = strong;
   const SolvabilityResult result = check_solvability(ma, options);
+  expect_parallel_matches(ma, options, result);
   if (!expect_solvable) {
     EXPECT_NE(result.verdict, SolvabilityVerdict::kSolvable) << ma.name();
     return;

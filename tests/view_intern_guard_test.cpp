@@ -1,0 +1,81 @@
+// Misuse guards of ViewInterner: the interner is single-threaded state
+// (one instance per shard in the parallel engine); sharing one across
+// concurrently mutating threads, or calling step() with malformed sender
+// lists, must abort loudly instead of corrupting the hash-consing
+// invariant id(V) == id(W) <=> V = W.
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "ptg/view_intern.hpp"
+
+namespace topocon {
+namespace {
+
+TEST(ViewInternerGuard, StepSenderCountMismatchDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ViewInterner interner;
+  const ViewId a = interner.base(0, 0);
+  // Mask has two senders but only one id is supplied.
+  EXPECT_DEATH(interner.step(1, 0b11, {a}), "sender count");
+}
+
+TEST(ViewInternerGuard, CrossThreadMutationWithoutAttachDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ViewInterner interner;
+        interner.base(0, 0);  // binds the interner to this thread
+        std::thread other([&interner] { interner.base(1, 0); });
+        other.join();
+      },
+      "second thread");
+}
+
+TEST(ViewInternerGuard, AttachAllowsSequentialHandOff) {
+  ViewInterner interner;
+  const ViewId before = interner.base(0, 0);
+  ViewId after = -1;
+  std::thread other([&interner, &after] {
+    interner.attach_to_current_thread();
+    after = interner.base(0, 0);
+  });
+  other.join();
+  EXPECT_EQ(before, after);
+  // Hand the interner back to this thread, too.
+  interner.attach_to_current_thread();
+  EXPECT_EQ(interner.base(0, 0), before);
+}
+
+TEST(ViewInternerGuard, FreshInternerBindsToFirstMutatingThread) {
+  // Creating on one thread and mutating on another is fine as long as the
+  // creator never mutated: ownership is claimed by the first mutation.
+  ViewInterner interner;
+  ViewId id = -1;
+  std::thread worker([&interner, &id] { id = interner.base(2, 1); });
+  worker.join();
+  EXPECT_GE(id, 0);
+}
+
+#ifndef NDEBUG
+TEST(ViewInternerGuard, UnsortedSenderIdsDieInDebug) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ViewInterner interner;
+  const ViewId p0 = interner.base(0, 0);
+  const ViewId p1 = interner.base(1, 0);
+  // Senders swapped: process order of {p1, p0} does not match mask 0b11.
+  EXPECT_DEATH(interner.step(1, 0b11, {p1, p0}), "process");
+}
+
+TEST(ViewInternerGuard, MixedDepthSendersDieInDebug) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ViewInterner interner;
+  const ViewId p0 = interner.base(0, 0);
+  const ViewId p1 = interner.base(1, 0);
+  const ViewId deep0 = interner.step(0, 0b01, {p0});
+  EXPECT_DEATH(interner.step(1, 0b11, {deep0, p1}), "depth");
+}
+#endif
+
+}  // namespace
+}  // namespace topocon
