@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "runtime/sweep/cli.hpp"
 #include "runtime/sweep/engine.hpp"
 
 #define TOPOCON_BENCH_MAIN(print_report)                                 \

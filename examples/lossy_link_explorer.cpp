@@ -23,6 +23,7 @@
 #include "analysis/report.hpp"
 #include "core/obstruction.hpp"
 #include "core/solvability.hpp"
+#include "runtime/sweep/cli.hpp"
 #include "runtime/sweep/engine.hpp"
 #include "runtime/sweep/parallel_solver.hpp"
 

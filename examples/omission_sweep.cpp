@@ -18,6 +18,7 @@
 #include "analysis/report.hpp"
 #include "runtime/flood_min.hpp"
 #include "runtime/simulator.hpp"
+#include "runtime/sweep/cli.hpp"
 #include "runtime/sweep/engine.hpp"
 #include "runtime/universal_runner.hpp"
 #include "runtime/verify.hpp"

@@ -1,5 +1,7 @@
 #include "adversary/family.hpp"
 
+#include <algorithm>
+#include <climits>
 #include <stdexcept>
 
 #include "adversary/finite_loss.hpp"
@@ -44,12 +46,106 @@ std::string family_point_label(const FamilyPoint& point) {
          ", param=" + std::to_string(point.param) + ")";
 }
 
+namespace {
+
+[[noreturn]] void fail_point(const std::string& family,
+                             const std::string& what, int got) {
+  throw std::invalid_argument(family + ": " + what + " (got " +
+                              std::to_string(got) + ")");
+}
+
+void check_param_in_range(const std::string& family,
+                          const FamilyParamRange& range, int param) {
+  if (param < range.min || param > range.max) {
+    fail_point(family,
+               "param must be in [" + std::to_string(range.min) + ", " +
+                   (range.max == INT_MAX ? "inf"
+                                         : std::to_string(range.max)) +
+                   "]",
+               param);
+  }
+}
+
+/// Grids beyond this are operator error, not a workload: the expansion
+/// is rejected before any allocation so absurd --param-max values cannot
+/// exhaust memory.
+constexpr long long kMaxGridPoints = 100'000;
+
+}  // namespace
+
+FamilyParamRange family_param_range(const std::string& family, int n) {
+  if (family == "lossy_link") {
+    if (n != 2) fail_point(family, "n must be 2", n);
+    return {1, 7, "subset mask over {<-, ->, <->}"};
+  }
+  if (family == "omission") {
+    if (n < 2) fail_point(family, "n must be >= 2", n);
+    const long long max_f = static_cast<long long>(n) * (n - 1);
+    return {0, static_cast<int>(std::min<long long>(max_f, INT_MAX)),
+            "per-round omission budget f"};
+  }
+  if (family == "heard_of") {
+    if (n < 2) fail_point(family, "n must be >= 2", n);
+    return {1, n, "minimal per-receiver in-degree k"};
+  }
+  if (family == "windowed_lossy_link") {
+    if (n != 2) fail_point(family, "n must be 2", n);
+    return {1, INT_MAX, "repetition window w"};
+  }
+  if (family == "vssc") {
+    if (n < 2) fail_point(family, "n must be >= 2", n);
+    return {1, INT_MAX, "stability window length"};
+  }
+  if (family == "finite_loss") {
+    if (n < 2) fail_point(family, "n must be >= 2", n);
+    return {0, 0, "unused (must be 0)"};
+  }
+  throw std::invalid_argument("unknown adversary family: " + family);
+}
+
+void validate_family_point(const FamilyPoint& point) {
+  check_param_in_range(point.family,
+                       family_param_range(point.family, point.n),
+                       point.param);
+}
+
+std::vector<FamilyPoint> family_grid(const std::string& family, int n,
+                                     int param_min, int param_max) {
+  // Validate family and n first so a typo'd family name is reported as
+  // such, not as an interval problem; then the endpoints, before any
+  // allocation -- the whole interval is then inside the valid range.
+  const FamilyParamRange range = family_param_range(family, n);
+  if (param_min > param_max) {
+    throw std::invalid_argument(
+        family + ": empty parameter interval [" + std::to_string(param_min) +
+        ", " + std::to_string(param_max) + "]");
+  }
+  check_param_in_range(family, range, param_min);
+  check_param_in_range(family, range, param_max);
+  const long long count =
+      static_cast<long long>(param_max) - param_min + 1;
+  if (count > kMaxGridPoints) {
+    throw std::invalid_argument(
+        family + ": parameter interval [" + std::to_string(param_min) +
+        ", " + std::to_string(param_max) + "] expands to " +
+        std::to_string(count) + " points (limit " +
+        std::to_string(kMaxGridPoints) + ")");
+  }
+  std::vector<FamilyPoint> points;
+  points.reserve(static_cast<std::size_t>(count));
+  // Widened loop variable: `int param <= param_max` would never terminate
+  // (and overflow) when param_max == INT_MAX, a legal bound for the
+  // window families.
+  for (long long param = param_min; param <= param_max; ++param) {
+    points.push_back({family, n, static_cast<int>(param)});
+  }
+  return points;
+}
+
 std::unique_ptr<MessageAdversary> make_family_adversary(
     const FamilyPoint& point) {
+  validate_family_point(point);
   if (point.family == "lossy_link") {
-    if (point.n != 2 || point.param < 1 || point.param > 7) {
-      throw std::invalid_argument("lossy_link: need n=2, 1 <= mask <= 7");
-    }
     return make_lossy_link(static_cast<unsigned>(point.param));
   }
   if (point.family == "omission") {
@@ -59,10 +155,6 @@ std::unique_ptr<MessageAdversary> make_family_adversary(
     return make_heard_of_adversary(point.n, point.param);
   }
   if (point.family == "windowed_lossy_link") {
-    if (point.n != 2 || point.param < 1) {
-      throw std::invalid_argument(
-          "windowed_lossy_link: need n=2, window >= 1");
-    }
     return make_windowed_lossy_link(point.param);
   }
   if (point.family == "vssc") {
@@ -71,7 +163,10 @@ std::unique_ptr<MessageAdversary> make_family_adversary(
   if (point.family == "finite_loss") {
     return std::make_unique<FiniteLossAdversary>(point.n);
   }
-  throw std::invalid_argument("unknown adversary family: " + point.family);
+  // validate_family_point accepted the name, so a missing branch here is
+  // a dispatch/known_families() mismatch, not caller error.
+  throw std::logic_error("make_family_adversary: unhandled family " +
+                         point.family);
 }
 
 }  // namespace topocon

@@ -34,8 +34,33 @@ const std::vector<std::string>& known_families();
 std::string family_point_label(const FamilyPoint& point);
 
 /// Constructs the adversary for a grid point. Throws std::invalid_argument
-/// for unknown family names or out-of-range parameters.
+/// with an exact, family-specific message for unknown family names and
+/// out-of-range n or param (see validate_family_point).
 std::unique_ptr<MessageAdversary> make_family_adversary(
     const FamilyPoint& point);
+
+/// The checks behind make_family_adversary, usable without constructing
+/// the adversary (grid expansion validates points up front). Throws
+/// std::invalid_argument; the message always starts with "family:".
+void validate_family_point(const FamilyPoint& point);
+
+/// Valid parameter interval of a family at a given n. `max` is INT_MAX
+/// for families whose parameter is unbounded above (windows); both are 0
+/// for finite_loss, whose param is unused. Throws std::invalid_argument
+/// for unknown families or invalid n.
+struct FamilyParamRange {
+  int min = 0;
+  int max = 0;
+  /// What the parameter means, e.g. "per-round omission budget f".
+  const char* meaning = "";
+};
+FamilyParamRange family_param_range(const std::string& family, int n);
+
+/// Expands the inclusive parameter interval [param_min, param_max] into
+/// validated grid points of one family at fixed n -- the adapter between
+/// scenario grids and SweepSpecs. Throws std::invalid_argument when the
+/// interval is empty or leaves the family's valid range.
+std::vector<FamilyPoint> family_grid(const std::string& family, int n,
+                                     int param_min, int param_max);
 
 }  // namespace topocon

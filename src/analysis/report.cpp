@@ -7,11 +7,15 @@
 namespace topocon {
 
 Table::Table(std::vector<std::string> headers)
-    : headers_(std::move(headers)) {}
+    : headers_(std::move(headers)), right_aligned_(headers_.size(), false) {}
 
 void Table::add_row(std::vector<std::string> cells) {
   cells.resize(headers_.size());
   rows_.push_back(std::move(cells));
+}
+
+void Table::align_right(std::size_t column) {
+  if (column < right_aligned_.size()) right_aligned_[column] = true;
 }
 
 void Table::print(std::ostream& out) const {
@@ -22,22 +26,24 @@ void Table::print(std::ostream& out) const {
       widths[c] = std::max(widths[c], row[c].size());
     }
   }
-  auto print_row = [&](const std::vector<std::string>& cells) {
+  auto print_row = [&](const std::vector<std::string>& cells,
+                       bool is_header) {
     out << "| ";
     for (std::size_t c = 0; c < cells.size(); ++c) {
-      out << std::left << std::setw(static_cast<int>(widths[c])) << cells[c]
-          << " | ";
+      const bool right = !is_header && right_aligned_[c];
+      out << (right ? std::right : std::left)
+          << std::setw(static_cast<int>(widths[c])) << cells[c] << " | ";
     }
     out << '\n';
   };
-  print_row(headers_);
+  print_row(headers_, /*is_header=*/true);
   out << '|';
   for (const std::size_t w : widths) {
     out << std::string(w + 2, '-') << '|';
   }
   out << '\n';
   for (const auto& row : rows_) {
-    print_row(row);
+    print_row(row, /*is_header=*/false);
   }
 }
 

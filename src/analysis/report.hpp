@@ -15,12 +15,17 @@ class Table {
 
   void add_row(std::vector<std::string> cells);
 
+  /// Right-aligns the given column (numeric columns read better ragged
+  /// left); out-of-range indices are ignored. Headers stay left-aligned.
+  void align_right(std::size_t column);
+
   /// Renders with column-aligned padding and a header rule.
   void print(std::ostream& out) const;
 
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
+  std::vector<bool> right_aligned_;
 };
 
 /// Formats a double with the given precision (fixed).

@@ -112,6 +112,8 @@ struct ComponentInfo {
   int num_valences() const {
     return std::popcount(valence_mask);
   }
+
+  friend bool operator==(const ComponentInfo&, const ComponentInfo&) = default;
 };
 
 /// Result of the depth-t analysis.

@@ -13,6 +13,14 @@ const char* to_string(SolvabilityVerdict verdict) {
   return "?";
 }
 
+std::optional<SolvabilityVerdict> parse_solvability_verdict(
+    std::string_view name) {
+  if (name == "SOLVABLE") return SolvabilityVerdict::kSolvable;
+  if (name == "NOT-SEPARATED") return SolvabilityVerdict::kNotSeparated;
+  if (name == "RESOURCE-LIMIT") return SolvabilityVerdict::kResourceLimit;
+  return std::nullopt;
+}
+
 SolvabilityResult check_solvability(const MessageAdversary& adversary,
                                     const SolvabilityOptions& options) {
   return check_solvability_with(

@@ -25,6 +25,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/decision_table.hpp"
@@ -39,6 +40,9 @@ enum class SolvabilityVerdict {
 };
 
 const char* to_string(SolvabilityVerdict verdict);
+/// Inverse of to_string(SolvabilityVerdict); nullopt for unknown names.
+std::optional<SolvabilityVerdict> parse_solvability_verdict(
+    std::string_view name);
 
 struct SolvabilityOptions {
   int max_depth = 10;
@@ -65,6 +69,8 @@ struct DepthStats {
   bool valent_broadcastable = false;
   bool strong_assignable = false;
   std::size_t interner_views = 0;
+
+  friend bool operator==(const DepthStats&, const DepthStats&) = default;
 };
 
 struct SolvabilityResult {

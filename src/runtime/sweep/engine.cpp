@@ -3,10 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <fstream>
+#include <mutex>
 #include <ostream>
 
 #include "runtime/sweep/parallel_solver.hpp"
@@ -35,7 +32,9 @@ void write_depth_stats(JsonWriter& writer, const DepthStats& stats) {
   writer.end_object();
 }
 
-void write_record(JsonWriter& writer, const JobRecord& record) {
+}  // namespace
+
+void write_job_record_json(JsonWriter& writer, const JobRecord& record) {
   writer.begin_object();
   writer.member("family", record.family);
   writer.member("label", record.label);
@@ -104,19 +103,22 @@ void write_record(JsonWriter& writer, const JobRecord& record) {
   writer.end_object();
 }
 
-}  // namespace
-
 JobRecord summarize(const JobOutcome& outcome) {
   JobRecord record;
   record.family = outcome.family;
   record.label = outcome.label;
   record.n = outcome.n;
   record.kind = outcome.kind;
+  // Only the kind's own fields are filled, so a record is exactly the
+  // JSON-visible projection and survives a write/parse round trip.
+  if (outcome.kind == JobKind::kDepthSeries) {
+    record.series = outcome.series;
+    return record;
+  }
   record.verdict = to_string(outcome.result.verdict);
   record.certified_depth = outcome.result.certified_depth;
   record.closure_only = outcome.result.closure_only;
   record.per_depth = outcome.result.per_depth;
-  record.series = outcome.series;
   if (outcome.result.analysis.has_value()) {
     const DepthAnalysis& analysis = *outcome.result.analysis;
     JobRecord::FinalAnalysis final_analysis;
@@ -149,6 +151,12 @@ const char* to_string(JobKind kind) {
     case JobKind::kDepthSeries: return "depth_series";
   }
   return "?";
+}
+
+std::optional<JobKind> parse_job_kind(std::string_view name) {
+  if (name == "solvability") return JobKind::kSolvability;
+  if (name == "depth_series") return JobKind::kDepthSeries;
+  return std::nullopt;
 }
 
 SweepJob solvability_job(const FamilyPoint& point,
@@ -187,6 +195,7 @@ std::vector<JobOutcome> run_sweep(const SweepSpec& spec) {
       spec.num_threads > 0 ? spec.num_threads : default_num_threads();
   ThreadPool pool(threads);
   std::vector<JobOutcome> outcomes(spec.jobs.size());
+  std::mutex done_mutex;
 
   pool.parallel_for(spec.jobs.size(), [&](std::size_t j) {
     const SweepJob& job = spec.jobs[j];
@@ -225,6 +234,10 @@ std::vector<JobOutcome> run_sweep(const SweepSpec& spec) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    if (spec.on_job_done) {
+      const std::lock_guard<std::mutex> lock(done_mutex);
+      spec.on_job_done(j, outcome);
+    }
   });
 
   // Jobs ran on pool threads; re-home their interners so the caller can
@@ -252,7 +265,7 @@ void write_sweep_json(JsonWriter& writer, const std::string& name,
   writer.key("jobs");
   writer.begin_array();
   for (const JobRecord& record : records) {
-    write_record(writer, record);
+    write_job_record_json(writer, record);
   }
   writer.end_array();
   writer.end_object();
@@ -324,38 +337,6 @@ void SweepRegistry::write_json(std::ostream& out) const {
   writer.end_array();
   writer.end_object();
   out << '\n';
-}
-
-SweepCliOptions consume_sweep_args(int* argc, char** argv) {
-  SweepCliOptions options;
-  int kept = 1;
-  for (int i = 1; i < *argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--sweep-threads=", 16) == 0) {
-      set_default_num_threads(std::atoi(arg + 16));
-      continue;
-    }
-    if (std::strncmp(arg, "--sweep-json=", 13) == 0) {
-      options.json_path = arg + 13;
-      SweepRegistry::instance().set_enabled(true);
-      continue;
-    }
-    argv[kept++] = argv[i];
-  }
-  *argc = kept;
-  return options;
-}
-
-bool flush_sweep_json(const SweepCliOptions& options) {
-  if (options.json_path.empty()) return true;
-  std::ofstream out(options.json_path);
-  if (!out) {
-    std::fprintf(stderr, "sweep: cannot write %s\n",
-                 options.json_path.c_str());
-    return false;
-  }
-  SweepRegistry::instance().write_json(out);
-  return static_cast<bool>(out);
 }
 
 }  // namespace topocon::sweep

@@ -24,6 +24,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "adversary/family.hpp"
@@ -41,6 +42,8 @@ enum class JobKind {
 };
 
 const char* to_string(JobKind kind);
+/// Inverse of to_string(JobKind); nullopt for unknown names.
+std::optional<JobKind> parse_job_kind(std::string_view name);
 
 struct SweepJob {
   std::string family;
@@ -86,6 +89,12 @@ struct SweepSpec {
   int num_threads = 0;
   /// Record outcomes in the global SweepRegistry (for --sweep-json).
   bool record = true;
+  /// Incremental-checkpoint hook: invoked as each job finishes, with its
+  /// index into `jobs` and the finished outcome. Calls are serialized by
+  /// an engine-internal mutex but arrive in completion order, which
+  /// depends on the thread count -- checkpoint consumers must therefore
+  /// key on the job index, never on arrival order.
+  std::function<void(std::size_t, const JobOutcome&)> on_job_done;
 };
 
 /// Runs all jobs of the spec. Outcomes are indexed like spec.jobs;
@@ -117,17 +126,30 @@ struct JobRecord {
     /// Total component count; `components` holds at most the JSON cap.
     std::uint64_t num_components = 0;
     std::vector<ComponentInfo> components;
+
+    friend bool operator==(const FinalAnalysis&,
+                           const FinalAnalysis&) = default;
   };
   std::optional<FinalAnalysis> final_analysis;
   struct Table {
     std::uint64_t entries = 0;
     int worst_decision_round = 0;
+
+    friend bool operator==(const Table&, const Table&) = default;
   };
   std::optional<Table> table;
+
+  /// Field-wise equality; with json_reader this makes "record -> JSON ->
+  /// record" round-trips checkable.
+  friend bool operator==(const JobRecord&, const JobRecord&) = default;
 };
 
 /// Extracts the JSON-visible aggregates of an outcome.
 JobRecord summarize(const JobOutcome& outcome);
+
+/// Serializes one record as a JSON object (the "jobs" array element
+/// format; also the checkpoint line format, see checkpoint.hpp).
+void write_job_record_json(JsonWriter& writer, const JobRecord& record);
 
 /// Serializes records/outcomes as one {"name": ..., "jobs": [...]} object.
 void write_sweep_json(JsonWriter& writer, const std::string& name,
@@ -159,20 +181,5 @@ class SweepRegistry {
   bool enabled_ = false;
   std::vector<std::pair<std::string, std::vector<JobRecord>>> sweeps_;
 };
-
-/// CLI plumbing shared by the bench binaries and examples.
-struct SweepCliOptions {
-  /// Destination of the registry dump; empty = no dump.
-  std::string json_path;
-};
-
-/// Strips --sweep-threads=N and --sweep-json=PATH from argv (so they can
-/// precede google-benchmark's own argument parsing) and applies the
-/// thread default immediately.
-SweepCliOptions consume_sweep_args(int* argc, char** argv);
-
-/// Writes the registry to options.json_path if set. Returns false (after
-/// printing to stderr) when the file cannot be written.
-bool flush_sweep_json(const SweepCliOptions& options);
 
 }  // namespace topocon::sweep

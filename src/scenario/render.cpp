@@ -1,0 +1,70 @@
+#include "scenario/render.hpp"
+
+#include "analysis/report.hpp"
+
+namespace topocon::scenario {
+
+namespace {
+
+using sweep::JobKind;
+using sweep::JobRecord;
+
+const DepthStats* last_stats(const JobRecord& record) {
+  const std::vector<DepthStats>& stats =
+      record.kind == JobKind::kSolvability ? record.per_depth : record.series;
+  return stats.empty() ? nullptr : &stats.back();
+}
+
+void render_series(std::ostream& out, const JobRecord& record) {
+  out << "\nConvergence " << record.family << " " << record.label << " (n="
+      << record.n << "):\n";
+  Table table({"depth", "leaf classes", "components", "merged", "separated",
+               "broadcastable"});
+  for (std::size_t c = 0; c < 4; ++c) table.align_right(c);
+  for (const DepthStats& stats : record.series) {
+    table.add_row({std::to_string(stats.depth),
+                   std::to_string(stats.num_leaf_classes),
+                   std::to_string(stats.num_components),
+                   std::to_string(stats.merged_components),
+                   yes_no(stats.separated),
+                   yes_no(stats.valent_broadcastable)});
+  }
+  table.print(out);
+}
+
+}  // namespace
+
+void render_records(std::ostream& out, const std::string& sweep_name,
+                    const std::vector<JobRecord>& records) {
+  out << "Sweep " << sweep_name << " (" << records.size() << " job"
+      << (records.size() == 1 ? "" : "s") << "):\n";
+  Table table({"#", "family", "label", "n", "kind", "verdict", "cert depth",
+               "leaf classes", "components", "table"});
+  table.align_right(0);
+  table.align_right(3);
+  for (std::size_t c = 6; c <= 9; ++c) table.align_right(c);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const JobRecord& record = records[i];
+    const DepthStats* stats = last_stats(record);
+    const bool solvability = record.kind == JobKind::kSolvability;
+    std::string verdict = solvability ? record.verdict : "-";
+    if (solvability && record.closure_only) verdict += " (closure)";
+    table.add_row(
+        {std::to_string(i), record.family, record.label,
+         std::to_string(record.n), to_string(record.kind), verdict,
+         solvability && record.certified_depth >= 0
+             ? std::to_string(record.certified_depth)
+             : "-",
+         stats != nullptr ? std::to_string(stats->num_leaf_classes) : "-",
+         stats != nullptr ? std::to_string(stats->num_components) : "-",
+         record.table.has_value()
+             ? std::to_string(record.table->entries) + " entries"
+             : "-"});
+  }
+  table.print(out);
+  for (const JobRecord& record : records) {
+    if (record.kind == JobKind::kDepthSeries) render_series(out, record);
+  }
+}
+
+}  // namespace topocon::scenario

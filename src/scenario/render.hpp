@@ -1,0 +1,20 @@
+// Human-readable rendering of sweep records -- the CLI's report surface.
+// Works off JobRecords (the JSON-visible projection of outcomes), so the
+// exact same rendering applies to freshly-run sweeps and to documents
+// loaded back from disk by the JsonReader.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "runtime/sweep/engine.hpp"
+
+namespace topocon::scenario {
+
+/// Prints a summary table of all records, then one convergence table per
+/// depth-series record.
+void render_records(std::ostream& out, const std::string& sweep_name,
+                    const std::vector<sweep::JobRecord>& records);
+
+}  // namespace topocon::scenario

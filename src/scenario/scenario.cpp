@@ -1,0 +1,196 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "adversary/family.hpp"
+
+namespace topocon::scenario {
+
+namespace {
+
+using sweep::SweepSpec;
+
+/// Applies --param-min/--param-max on top of a default interval, clamped
+/// nowhere: leaving the family's valid range is reported by family_grid.
+std::pair<int, int> override_range(const GridOverrides& overrides,
+                                   int default_min, int default_max) {
+  return {overrides.param_min.value_or(default_min),
+          overrides.param_max.value_or(default_max)};
+}
+
+SweepSpec build_omission(const GridOverrides& overrides) {
+  const int n = overrides.n.value_or(3);
+  const FamilyParamRange range = family_param_range("omission", n);
+  const auto [f_min, f_max] = override_range(overrides, range.min, range.max);
+  SweepSpec spec;
+  SolvabilityOptions options;
+  options.max_depth = n == 2 ? 6 : 3;
+  options.max_states = 6'000'000;
+  for (const FamilyPoint& point : family_grid("omission", n, f_min, f_max)) {
+    spec.jobs.push_back(sweep::solvability_job(point, options));
+  }
+  return spec;
+}
+
+SweepSpec build_lossy_link_atlas(const GridOverrides& overrides) {
+  const auto [mask_min, mask_max] = override_range(overrides, 1, 7);
+  SweepSpec spec;
+  SolvabilityOptions options;
+  options.max_depth = 6;
+  for (const FamilyPoint& point :
+       family_grid("lossy_link", 2, mask_min, mask_max)) {
+    spec.jobs.push_back(sweep::solvability_job(point, options));
+  }
+  return spec;
+}
+
+SweepSpec build_heard_of_grid(const GridOverrides& overrides) {
+  SweepSpec spec;
+  const std::vector<int> ns =
+      overrides.n.has_value() ? std::vector<int>{*overrides.n}
+                              : std::vector<int>{2, 3};
+  // The legs have different k ranges (1..n), so the override is checked
+  // against their union and then intersected per leg; a leg whose
+  // interval empties out is skipped, not an error (--param-min=3 means
+  // "only the n=3 leg reaches k=3").
+  int union_max = 0;
+  for (const int n : ns) {
+    union_max = std::max(union_max, family_param_range("heard_of", n).max);
+  }
+  const auto [k_min, k_max] = override_range(overrides, 1, union_max);
+  if (k_min > k_max || k_max < 1 || k_min > union_max) {
+    throw std::invalid_argument(
+        "heard-of-grid: no k in [" + std::to_string(k_min) + ", " +
+        std::to_string(k_max) + "] is valid for any selected n");
+  }
+  for (const int n : ns) {
+    const FamilyParamRange range = family_param_range("heard_of", n);
+    const int lo = std::max(k_min, range.min);
+    const int hi = std::min(k_max, range.max);
+    if (lo > hi) continue;
+    SolvabilityOptions options;
+    options.max_depth = n == 2 ? 5 : 2;
+    options.max_states = 6'000'000;
+    for (const FamilyPoint& point : family_grid("heard_of", n, lo, hi)) {
+      spec.jobs.push_back(sweep::solvability_job(point, options));
+    }
+  }
+  return spec;
+}
+
+SweepSpec build_vssc_windows(const GridOverrides& overrides) {
+  const int n = overrides.n.value_or(2);
+  const auto [k_min, k_max] = override_range(overrides, 1, 3);
+  SweepSpec spec;
+  SolvabilityOptions options;
+  options.max_depth = 3;
+  options.max_states = 4'000'000;
+  options.build_table = false;
+  for (const FamilyPoint& point : family_grid("vssc", n, k_min, k_max)) {
+    spec.jobs.push_back(sweep::solvability_job(point, options));
+  }
+  return spec;
+}
+
+SweepSpec build_convergence_curves(const GridOverrides&) {
+  SweepSpec spec;
+  AnalysisOptions lossy;
+  lossy.depth = 6;
+  for (const int mask : {0b011, 0b101, 0b111}) {
+    spec.jobs.push_back(sweep::series_job({"lossy_link", 2, mask}, lossy));
+  }
+  AnalysisOptions omission;
+  omission.depth = 3;
+  omission.max_states = 6'000'000;
+  spec.jobs.push_back(sweep::series_job({"omission", 3, 1}, omission));
+  AnalysisOptions finite_loss;
+  finite_loss.depth = 4;
+  spec.jobs.push_back(sweep::series_job({"finite_loss", 2, 0}, finite_loss));
+  return spec;
+}
+
+std::vector<Scenario> make_catalog() {
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(Scenario{
+      "omission-n3",
+      "Santoro-Widmayer omission frontier: f = 0..n(n-1) (default n=3)",
+      "Solvability sweep over the per-round omission budget f at fixed n\n"
+      "(default 3), reproducing the E5 frontier: consensus is solvable\n"
+      "iff f <= n-2 [Santoro-Widmayer]. --n picks the process count,\n"
+      "--param-min/--param-max restrict the f interval (valid: 0..n(n-1)).",
+      /*supports_n=*/true, /*supports_param_range=*/true, build_omission});
+  scenarios.push_back(Scenario{
+      "lossy-link-atlas",
+      "All 7 lossy-link subsets at n=2: the solvability atlas",
+      "Solvability verdict for every nonempty subset of {<-, ->, <->} at\n"
+      "n=2 (Section 6.1): solvable exactly when the subset misses some\n"
+      "direction. --param-min/--param-max restrict the subset-mask\n"
+      "interval (valid: 1..7).",
+      /*supports_n=*/false, /*supports_param_range=*/true,
+      build_lossy_link_atlas});
+  scenarios.push_back(Scenario{
+      "heard-of-grid",
+      "Heard-Of minimal in-degree grid: k = 1..n for n in {2, 3}",
+      "Solvability over the minimal per-receiver in-degree k: solvable\n"
+      "iff k = n (everyone hears everyone). --n restricts to one process\n"
+      "count, --param-min/--param-max restrict the k interval (valid:\n"
+      "1..n).",
+      /*supports_n=*/true, /*supports_param_range=*/true,
+      build_heard_of_grid});
+  scenarios.push_back(Scenario{
+      "vssc-windows",
+      "VSSC stability windows: non-compact closure stays merged",
+      "Closure-only solvability checks of the vertex-stable source\n"
+      "component adversary for stability windows 1..3 (default n=2): the\n"
+      "adversary is non-compact, so the checker sees its topological\n"
+      "closure and reports NOT-SEPARATED at every depth even though the\n"
+      "adversary is solvable (Section 6.3, bench E8). --n picks the\n"
+      "process count, --param-min/--param-max the window interval.",
+      /*supports_n=*/true, /*supports_param_range=*/true,
+      build_vssc_windows});
+  scenarios.push_back(Scenario{
+      "convergence-curves",
+      "E4/E6/E7 depth-series curves across three families",
+      "Depth-by-depth epsilon-approximation series past separation: the\n"
+      "three canonical lossy-link subsets (depth 6), omission n=3 f=1\n"
+      "(depth 3), and the non-compact finite-loss closure (depth 4,\n"
+      "permanently merged). Fixed grid; no overrides.",
+      /*supports_n=*/false, /*supports_param_range=*/false,
+      build_convergence_curves});
+  return scenarios;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& catalog() {
+  static const std::vector<Scenario> scenarios = make_catalog();
+  return scenarios;
+}
+
+const Scenario* find_scenario(std::string_view name) {
+  for (const Scenario& scenario : catalog()) {
+    if (scenario.name == name) return &scenario;
+  }
+  return nullptr;
+}
+
+sweep::SweepSpec expand_scenario(const Scenario& scenario,
+                                 const GridOverrides& overrides) {
+  if (overrides.n.has_value() && !scenario.supports_n) {
+    throw std::invalid_argument(scenario.name +
+                                " does not support the --n override");
+  }
+  if ((overrides.param_min.has_value() || overrides.param_max.has_value()) &&
+      !scenario.supports_param_range) {
+    throw std::invalid_argument(
+        scenario.name + " does not support --param-min/--param-max");
+  }
+  sweep::SweepSpec spec = scenario.build(overrides);
+  spec.name = scenario.name;
+  spec.record = false;
+  return spec;
+}
+
+}  // namespace topocon::scenario

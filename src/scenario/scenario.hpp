@@ -1,0 +1,60 @@
+// Named, self-describing scenarios: the catalog that turns the sweep
+// engine into an operator-facing product surface (tools/topocon).
+//
+// A Scenario expands a FamilyPoint grid into a SweepSpec. Everything an
+// operator can run from the CLI lives here as data -- name, summary,
+// description, which grid overrides it accepts -- so `topocon list`,
+// `topocon describe`, and future workloads all read one registry instead
+// of hand-rolled driver loops (ROADMAP: "scenarios as SweepSpecs").
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/sweep/engine.hpp"
+
+namespace topocon::scenario {
+
+/// Operator overrides of a scenario's default grid (`--n`,
+/// `--param-min`, `--param-max`). Semantics are scenario-specific and
+/// documented per scenario; scenarios reject overrides they do not
+/// support with std::invalid_argument.
+struct GridOverrides {
+  std::optional<int> n;
+  std::optional<int> param_min;
+  std::optional<int> param_max;
+};
+
+struct Scenario {
+  /// Registry key, e.g. "omission-n3".
+  std::string name;
+  /// One line for `topocon list`.
+  std::string summary;
+  /// Longer text for `topocon describe` (what the grid spans, which
+  /// paper artifact it reproduces, what the parameter means).
+  std::string description;
+  /// Which overrides expand_scenario accepts for this scenario.
+  bool supports_n = false;
+  bool supports_param_range = false;
+  /// Expands the (possibly overridden) grid into a runnable spec. The
+  /// spec comes back with record = false -- the CLI serializes outcomes
+  /// itself -- and its name set to the scenario name.
+  std::function<sweep::SweepSpec(const GridOverrides&)> build;
+};
+
+/// All registered scenarios, in catalog order; names are unique.
+const std::vector<Scenario>& catalog();
+
+/// Lookup by name; nullptr when unknown.
+const Scenario* find_scenario(std::string_view name);
+
+/// Validates the overrides against the scenario's capabilities, then
+/// builds the spec. Throws std::invalid_argument on unsupported or
+/// out-of-range overrides.
+sweep::SweepSpec expand_scenario(const Scenario& scenario,
+                                 const GridOverrides& overrides);
+
+}  // namespace topocon::scenario

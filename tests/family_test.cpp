@@ -1,0 +1,143 @@
+// Error-path coverage of the family adapter layer: exact
+// std::invalid_argument messages for every family in known_families(),
+// plus the grid-expansion helpers behind the scenario catalog.
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <stdexcept>
+
+#include "adversary/family.hpp"
+
+namespace topocon {
+namespace {
+
+void expect_invalid(const FamilyPoint& point, const std::string& message) {
+  try {
+    make_family_adversary(point);
+    FAIL() << point.family << " n=" << point.n << " param=" << point.param
+           << " did not throw";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_EQ(std::string(error.what()), message)
+        << point.family << " n=" << point.n << " param=" << point.param;
+  }
+}
+
+TEST(FamilyValidation, UnknownFamily) {
+  expect_invalid({"nope", 2, 0}, "unknown adversary family: nope");
+  EXPECT_THROW(family_param_range("nope", 2), std::invalid_argument);
+}
+
+TEST(FamilyValidation, LossyLink) {
+  expect_invalid({"lossy_link", 3, 1}, "lossy_link: n must be 2 (got 3)");
+  expect_invalid({"lossy_link", 2, 0},
+                 "lossy_link: param must be in [1, 7] (got 0)");
+  expect_invalid({"lossy_link", 2, 8},
+                 "lossy_link: param must be in [1, 7] (got 8)");
+  EXPECT_EQ(make_family_adversary({"lossy_link", 2, 1})->num_processes(), 2);
+}
+
+TEST(FamilyValidation, Omission) {
+  expect_invalid({"omission", 1, 0}, "omission: n must be >= 2 (got 1)");
+  expect_invalid({"omission", 3, -1},
+                 "omission: param must be in [0, 6] (got -1)");
+  expect_invalid({"omission", 3, 7},
+                 "omission: param must be in [0, 6] (got 7)");
+  EXPECT_EQ(make_family_adversary({"omission", 2, 2})->num_processes(), 2);
+}
+
+TEST(FamilyValidation, HeardOf) {
+  expect_invalid({"heard_of", 0, 1}, "heard_of: n must be >= 2 (got 0)");
+  expect_invalid({"heard_of", 3, 0},
+                 "heard_of: param must be in [1, 3] (got 0)");
+  expect_invalid({"heard_of", 3, 4},
+                 "heard_of: param must be in [1, 3] (got 4)");
+  EXPECT_EQ(make_family_adversary({"heard_of", 2, 1})->num_processes(), 2);
+}
+
+TEST(FamilyValidation, WindowedLossyLink) {
+  expect_invalid({"windowed_lossy_link", 3, 1},
+                 "windowed_lossy_link: n must be 2 (got 3)");
+  expect_invalid({"windowed_lossy_link", 2, 0},
+                 "windowed_lossy_link: param must be in [1, inf] (got 0)");
+  EXPECT_EQ(
+      make_family_adversary({"windowed_lossy_link", 2, 2})->num_processes(),
+      2);
+}
+
+TEST(FamilyValidation, Vssc) {
+  expect_invalid({"vssc", 1, 1}, "vssc: n must be >= 2 (got 1)");
+  expect_invalid({"vssc", 2, 0}, "vssc: param must be in [1, inf] (got 0)");
+  EXPECT_EQ(make_family_adversary({"vssc", 2, 1})->num_processes(), 2);
+}
+
+TEST(FamilyValidation, FiniteLoss) {
+  expect_invalid({"finite_loss", 1, 0},
+                 "finite_loss: n must be >= 2 (got 1)");
+  expect_invalid({"finite_loss", 2, 1},
+                 "finite_loss: param must be in [0, 0] (got 1)");
+  EXPECT_EQ(make_family_adversary({"finite_loss", 2, 0})->num_processes(),
+            2);
+}
+
+TEST(FamilyValidation, EveryKnownFamilyHasARangeAndBuilds) {
+  for (const std::string& family : known_families()) {
+    const int n = 2;  // valid for every family
+    const FamilyParamRange range = family_param_range(family, n);
+    EXPECT_LE(range.min, range.max) << family;
+    EXPECT_STRNE(range.meaning, "") << family;
+    const auto adversary =
+        make_family_adversary({family, n, range.min});
+    EXPECT_EQ(adversary->num_processes(), n) << family;
+  }
+}
+
+TEST(FamilyGrid, ExpandsValidatedPoints) {
+  const std::vector<FamilyPoint> grid = family_grid("omission", 3, 0, 6);
+  ASSERT_EQ(grid.size(), 7u);
+  EXPECT_EQ(grid.front().param, 0);
+  EXPECT_EQ(grid.back().param, 6);
+  for (const FamilyPoint& point : grid) {
+    EXPECT_EQ(point.family, "omission");
+    EXPECT_EQ(point.n, 3);
+  }
+}
+
+TEST(FamilyGrid, RejectsEmptyAndOutOfRangeIntervals) {
+  EXPECT_THROW(family_grid("omission", 3, 4, 2), std::invalid_argument);
+  EXPECT_THROW(family_grid("lossy_link", 2, 0, 3), std::invalid_argument);
+  EXPECT_THROW(family_grid("heard_of", 3, 1, 4), std::invalid_argument);
+}
+
+TEST(FamilyGrid, RejectsAbsurdIntervalsBeforeAllocating) {
+  // Endpoints are validated (and the point count bounded) before any
+  // reserve, so operator-supplied extremes fail cleanly instead of
+  // overflowing or exhausting memory.
+  EXPECT_THROW(family_grid("windowed_lossy_link", 2, 1, 2'000'000'000),
+               std::invalid_argument);
+  EXPECT_THROW(family_grid("omission", 3, -2'000'000'000, 2'000'000'000),
+               std::invalid_argument);
+  // n*(n-1) saturates instead of overflowing int.
+  EXPECT_EQ(family_param_range("omission", 65536).max, INT_MAX);
+}
+
+TEST(FamilyGrid, TerminatesWithIntMaxUpperBound) {
+  // INT_MAX is a legal param_max for the window families; the expansion
+  // loop must not rely on `param <= INT_MAX` ever going false.
+  const std::vector<FamilyPoint> grid =
+      family_grid("vssc", 2, INT_MAX - 2, INT_MAX);
+  ASSERT_EQ(grid.size(), 3u);
+  EXPECT_EQ(grid.back().param, INT_MAX);
+}
+
+TEST(FamilyGrid, ParamRangeMatchesDocumentedBounds) {
+  EXPECT_EQ(family_param_range("lossy_link", 2).min, 1);
+  EXPECT_EQ(family_param_range("lossy_link", 2).max, 7);
+  EXPECT_EQ(family_param_range("omission", 3).max, 6);
+  EXPECT_EQ(family_param_range("heard_of", 3).max, 3);
+  EXPECT_EQ(family_param_range("windowed_lossy_link", 2).max, INT_MAX);
+  EXPECT_EQ(family_param_range("vssc", 4).min, 1);
+  EXPECT_EQ(family_param_range("finite_loss", 2).max, 0);
+}
+
+}  // namespace
+}  // namespace topocon

@@ -1,0 +1,177 @@
+// The scenario catalog: registry invariants, grid override handling, and
+// the record-merge semantics resume is built on (completed records from a
+// checkpoint + freshly-run pending jobs == an uninterrupted run).
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "scenario/render.hpp"
+#include "scenario/scenario.hpp"
+
+namespace topocon {
+namespace {
+
+using scenario::GridOverrides;
+using scenario::Scenario;
+using sweep::JobRecord;
+using sweep::SweepSpec;
+
+TEST(ScenarioCatalog, NamesAreUniqueAndFindable) {
+  std::set<std::string> names;
+  for (const Scenario& s : scenario::catalog()) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_FALSE(s.summary.empty());
+    EXPECT_FALSE(s.description.empty());
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate " << s.name;
+    EXPECT_EQ(scenario::find_scenario(s.name), &s);
+  }
+  EXPECT_GE(names.size(), 5u);
+  EXPECT_EQ(scenario::find_scenario("nope"), nullptr);
+}
+
+TEST(ScenarioCatalog, EveryScenarioExpandsToABuildableGrid) {
+  for (const Scenario& s : scenario::catalog()) {
+    const SweepSpec spec = scenario::expand_scenario(s, {});
+    EXPECT_EQ(spec.name, s.name);
+    EXPECT_FALSE(spec.record);
+    ASSERT_FALSE(spec.jobs.empty()) << s.name;
+    for (const sweep::SweepJob& job : spec.jobs) {
+      EXPECT_FALSE(job.label.empty()) << s.name;
+      // The factory must construct without running anything heavy.
+      const auto adversary = job.make();
+      EXPECT_EQ(adversary->num_processes(), job.n)
+          << s.name << " " << job.label;
+    }
+  }
+}
+
+TEST(ScenarioOverrides, OmissionGridRespondsToNAndParamRange) {
+  const Scenario* s = scenario::find_scenario("omission-n3");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(scenario::expand_scenario(*s, {}).jobs.size(), 7u);  // f=0..6
+
+  GridOverrides n2;
+  n2.n = 2;
+  EXPECT_EQ(scenario::expand_scenario(*s, n2).jobs.size(), 3u);  // f=0..2
+
+  GridOverrides window;
+  window.param_min = 1;
+  window.param_max = 2;
+  const SweepSpec spec = scenario::expand_scenario(*s, window);
+  ASSERT_EQ(spec.jobs.size(), 2u);
+  EXPECT_EQ(spec.jobs[0].label, "n=3 f=1");
+  EXPECT_EQ(spec.jobs[1].label, "n=3 f=2");
+}
+
+TEST(ScenarioOverrides, HeardOfGridSkipsLegsWhoseIntervalEmpties) {
+  const Scenario* grid = scenario::find_scenario("heard-of-grid");
+  ASSERT_NE(grid, nullptr);
+  // k=3 only exists on the n=3 leg; the n=2 leg is skipped, not an error.
+  GridOverrides k3;
+  k3.param_min = 3;
+  const SweepSpec spec = scenario::expand_scenario(*grid, k3);
+  ASSERT_EQ(spec.jobs.size(), 1u);
+  EXPECT_EQ(spec.jobs[0].label, "n=3 k=3");
+  // Beyond every leg's range is still an error.
+  GridOverrides k9;
+  k9.param_min = 9;
+  EXPECT_THROW(scenario::expand_scenario(*grid, k9), std::invalid_argument);
+}
+
+TEST(ScenarioOverrides, UnsupportedAndOutOfRangeOverridesThrow) {
+  const Scenario* curves = scenario::find_scenario("convergence-curves");
+  ASSERT_NE(curves, nullptr);
+  GridOverrides n_override;
+  n_override.n = 2;
+  EXPECT_THROW(scenario::expand_scenario(*curves, n_override),
+               std::invalid_argument);
+  GridOverrides param_override;
+  param_override.param_max = 2;
+  EXPECT_THROW(scenario::expand_scenario(*curves, param_override),
+               std::invalid_argument);
+
+  const Scenario* atlas = scenario::find_scenario("lossy-link-atlas");
+  ASSERT_NE(atlas, nullptr);
+  EXPECT_THROW(scenario::expand_scenario(*atlas, n_override),
+               std::invalid_argument);
+  GridOverrides bad_range;
+  bad_range.param_max = 9;
+  EXPECT_THROW(scenario::expand_scenario(*atlas, bad_range),
+               std::invalid_argument);
+  GridOverrides empty_range;
+  empty_range.param_min = 5;
+  empty_range.param_max = 2;
+  EXPECT_THROW(scenario::expand_scenario(*atlas, empty_range),
+               std::invalid_argument);
+}
+
+// Resume's core claim, tested at the library level: running only the
+// pending jobs and merging by job index reproduces the uninterrupted
+// run's records exactly.
+TEST(ScenarioResumeMerge, PendingJobsPlusCheckpointEqualsFullRun) {
+  const Scenario* atlas = scenario::find_scenario("lossy-link-atlas");
+  ASSERT_NE(atlas, nullptr);
+  GridOverrides small;
+  small.param_max = 3;
+  SweepSpec full = scenario::expand_scenario(*atlas, small);
+  full.num_threads = 2;
+  ASSERT_EQ(full.jobs.size(), 3u);
+  std::vector<JobRecord> expected;
+  for (const sweep::JobOutcome& outcome : sweep::run_sweep(full)) {
+    expected.push_back(sweep::summarize(outcome));
+  }
+
+  // "Checkpoint" holds job 1; jobs 0 and 2 are pending.
+  SweepSpec pending = scenario::expand_scenario(*atlas, small);
+  pending.num_threads = 2;
+  std::vector<JobRecord> merged(3);
+  merged[1] = expected[1];
+  SweepSpec rest;
+  rest.name = pending.name;
+  rest.record = false;
+  rest.num_threads = pending.num_threads;
+  rest.jobs.push_back(std::move(pending.jobs[0]));
+  rest.jobs.push_back(std::move(pending.jobs[2]));
+  const std::vector<sweep::JobOutcome> outcomes = sweep::run_sweep(rest);
+  merged[0] = sweep::summarize(outcomes[0]);
+  merged[2] = sweep::summarize(outcomes[1]);
+  EXPECT_EQ(merged, expected);
+}
+
+TEST(ScenarioRender, RendersSolvabilityAndSeriesRecords) {
+  JobRecord solvable;
+  solvable.family = "lossy_link";
+  solvable.label = "{<-}";
+  solvable.n = 2;
+  solvable.kind = sweep::JobKind::kSolvability;
+  solvable.verdict = "SOLVABLE";
+  solvable.certified_depth = 1;
+  DepthStats stats;
+  stats.depth = 1;
+  stats.num_leaf_classes = 4;
+  stats.num_components = 2;
+  solvable.per_depth.push_back(stats);
+  JobRecord::Table table;
+  table.entries = 12;
+  solvable.table = table;
+
+  JobRecord series;
+  series.family = "finite_loss";
+  series.label = "n=2";
+  series.n = 2;
+  series.kind = sweep::JobKind::kDepthSeries;
+  series.series.push_back(stats);
+
+  std::ostringstream out;
+  scenario::render_records(out, "unit", {solvable, series});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Sweep unit (2 jobs)"), std::string::npos);
+  EXPECT_NE(text.find("SOLVABLE"), std::string::npos);
+  EXPECT_NE(text.find("12 entries"), std::string::npos);
+  EXPECT_NE(text.find("Convergence finite_loss n=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace topocon

@@ -241,6 +241,26 @@ TEST(RunSweep, DeterministicOrderingAndJsonAcrossThreadCounts) {
   }
 }
 
+TEST(RunSweep, OnJobDoneHookSeesEveryJobExactlyOnceWithFinalAggregates) {
+  for (const int threads : {1, 4}) {
+    SweepSpec spec = small_spec(threads);
+    std::vector<int> calls(spec.jobs.size(), 0);
+    std::vector<sweep::JobRecord> from_hook(spec.jobs.size());
+    spec.on_job_done = [&](std::size_t j, const JobOutcome& outcome) {
+      // Serialized by the engine's internal mutex; j indexes spec.jobs.
+      ++calls[j];
+      from_hook[j] = sweep::summarize(outcome);
+    };
+    const std::vector<JobOutcome> outcomes = sweep::run_sweep(spec);
+    ASSERT_EQ(outcomes.size(), from_hook.size());
+    for (std::size_t j = 0; j < outcomes.size(); ++j) {
+      EXPECT_EQ(calls[j], 1) << "job " << j << " at " << threads;
+      EXPECT_EQ(from_hook[j], sweep::summarize(outcomes[j]))
+          << "job " << j << " at " << threads;
+    }
+  }
+}
+
 TEST(RunSweep, SeriesContinuesPastSeparation) {
   SweepSpec spec;
   spec.name = "series";

@@ -1,0 +1,476 @@
+// topocon -- operator CLI over the scenario catalog and the parallel
+// sweep engine.
+//
+//   topocon list
+//   topocon describe SCENARIO
+//   topocon run SCENARIO [--threads=N] [--json=PATH]
+//                        [--n=N] [--param-min=V] [--param-max=V]
+//   topocon resume PATH [--threads=N]
+//
+// `run --json=PATH` checkpoints incrementally: PATH holds a line-oriented
+// checkpoint (header + one record line per completed job, flushed as jobs
+// finish) until the sweep completes, at which point it is atomically
+// replaced by the finalized topocon-sweep-v1 document. A run killed at
+// any point can be finished with `topocon resume PATH`: completed jobs
+// are loaded from the checkpoint, only the missing ones are re-run, and
+// the final document is byte-identical to an uninterrupted run at any
+// thread count (the engine's determinism contract).
+//
+// Exit codes: 0 success, 1 I/O failure, 2 usage error, 3 simulated crash
+// (--fail-after, testing only).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "runtime/sweep/checkpoint.hpp"
+#include "runtime/sweep/cli.hpp"
+#include "runtime/sweep/engine.hpp"
+#include "scenario/render.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using namespace topocon;
+
+int usage(std::ostream& out, int code) {
+  out << "usage: topocon COMMAND [ARGS]\n"
+         "\n"
+         "  list                      catalog of named scenarios\n"
+         "  describe SCENARIO         grid and documentation of one "
+         "scenario\n"
+         "  run SCENARIO [FLAGS]      expand the grid and run it\n"
+         "  resume PATH [FLAGS]       finish an interrupted `run --json` "
+         "sweep\n"
+         "\n"
+         "flags:\n"
+         "  --threads=N               engine threads (default: hardware "
+         "concurrency;\n"
+         "                            results are identical for every N)\n"
+         "  --json=PATH               checkpoint to PATH while running, "
+         "then finalize\n"
+         "                            it as a topocon-sweep-v1 document\n"
+         "  --n=N                     override the scenario's process "
+         "count\n"
+         "  --param-min=V             lower end of the parameter grid\n"
+         "  --param-max=V             upper end of the parameter grid\n"
+         "  --fail-after=K            (testing) crash-exit 3 after K "
+         "checkpoint appends\n";
+  return code;
+}
+
+struct RunFlags {
+  int threads = 0;
+  std::string json_path;
+  scenario::GridOverrides overrides;
+  int fail_after = 0;  // 0 = disabled
+};
+
+/// Parses the flags shared by run/resume; returns false on an unknown
+/// argument (after printing to stderr).
+bool parse_flags(int argc, char** argv, int first, RunFlags* flags) {
+  for (int i = first; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    try {
+      if (const auto v = sweep::flag_value(arg, "threads")) {
+        flags->threads = sweep::parse_int_value("threads", *v);
+      } else if (const auto v = sweep::flag_value(arg, "json")) {
+        if (v->empty()) {
+          std::cerr << "topocon: --json needs a non-empty path\n";
+          return false;
+        }
+        flags->json_path = *v;
+      } else if (const auto v = sweep::flag_value(arg, "n")) {
+        flags->overrides.n = sweep::parse_int_value("n", *v);
+      } else if (const auto v = sweep::flag_value(arg, "param-min")) {
+        flags->overrides.param_min = sweep::parse_int_value("param-min", *v);
+      } else if (const auto v = sweep::flag_value(arg, "param-max")) {
+        flags->overrides.param_max = sweep::parse_int_value("param-max", *v);
+      } else if (const auto v = sweep::flag_value(arg, "fail-after")) {
+        flags->fail_after = sweep::parse_int_value("fail-after", *v);
+      } else {
+        std::cerr << "topocon: unknown argument '" << arg << "'\n";
+        return false;
+      }
+    } catch (const std::invalid_argument& error) {
+      std::cerr << "topocon: " << error.what() << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+sweep::CheckpointHeader make_header(const std::string& scenario_name,
+                                    const scenario::GridOverrides& overrides,
+                                    std::size_t num_jobs) {
+  sweep::CheckpointHeader header;
+  header.sweep_name = scenario_name;
+  header.num_jobs = num_jobs;
+  header.meta.emplace_back("scenario", scenario_name);
+  if (overrides.n.has_value()) {
+    header.meta.emplace_back("n", std::to_string(*overrides.n));
+  }
+  if (overrides.param_min.has_value()) {
+    header.meta.emplace_back("param_min",
+                             std::to_string(*overrides.param_min));
+  }
+  if (overrides.param_max.has_value()) {
+    header.meta.emplace_back("param_max",
+                             std::to_string(*overrides.param_max));
+  }
+  return header;
+}
+
+scenario::GridOverrides overrides_from_meta(
+    const sweep::CheckpointHeader& header) {
+  scenario::GridOverrides overrides;
+  for (const auto& [key, value] : header.meta) {
+    if (key == "n") {
+      overrides.n = sweep::parse_int_value("n", value);
+    } else if (key == "param_min") {
+      overrides.param_min = sweep::parse_int_value("param-min", value);
+    } else if (key == "param_max") {
+      overrides.param_max = sweep::parse_int_value("param-max", value);
+    }
+  }
+  return overrides;
+}
+
+const std::string* meta_value(const sweep::CheckpointHeader& header,
+                              std::string_view key) {
+  for (const auto& [k, v] : header.meta) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+/// Writes `payload` to PATH atomically (tmp + rename), so a crash while
+/// writing never destroys what PATH held before.
+bool atomic_write(const std::string& path,
+                  const std::function<void(std::ostream&)>& payload) {
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "topocon: cannot write " << tmp_path << "\n";
+      return false;
+    }
+    payload(out);
+    if (!out) {
+      std::cerr << "topocon: write to " << tmp_path << " failed\n";
+      return false;
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::cerr << "topocon: cannot rename " << tmp_path << " to " << path
+              << "\n";
+    return false;
+  }
+  return true;
+}
+
+/// Replaces the checkpoint at PATH with the finalized document.
+bool finalize_json(const std::string& path, const std::string& sweep_name,
+                   const std::vector<sweep::JobRecord>& records) {
+  return atomic_write(path, [&](std::ostream& out) {
+    sweep::JsonWriter writer(out);
+    writer.begin_object();
+    writer.member("schema", sweep::kSweepSchema);
+    writer.key("sweeps");
+    writer.begin_array();
+    sweep::write_sweep_json(writer, sweep_name, records);
+    writer.end_array();
+    writer.end_object();
+    out << '\n';
+  });
+}
+
+/// Shared by run and resume: executes `spec` (whose job j maps to overall
+/// job job_index[j]), checkpointing to `ckpt` when given, then merges the
+/// fresh records into `records`. Crash-exits 3 after fail_after appends.
+void run_jobs(sweep::SweepSpec spec, const std::vector<std::size_t>& job_index,
+              sweep::CheckpointWriter* ckpt, int fail_after,
+              std::vector<std::optional<sweep::JobRecord>>* records) {
+  int appended = 0;
+  if (ckpt != nullptr) {
+    spec.on_job_done = [&](std::size_t j, const sweep::JobOutcome& outcome) {
+      ckpt->append(job_index[j], sweep::summarize(outcome));
+      if (fail_after > 0 && ++appended >= fail_after) {
+        // Simulated kill for the resume tests: no destructors, no final
+        // document -- exactly what a crash mid-sweep leaves behind.
+        std::_Exit(3);
+      }
+    };
+  }
+  const std::vector<sweep::JobOutcome> outcomes = sweep::run_sweep(spec);
+  for (std::size_t j = 0; j < outcomes.size(); ++j) {
+    (*records)[job_index[j]] = sweep::summarize(outcomes[j]);
+  }
+}
+
+std::vector<sweep::JobRecord> unwrap(
+    std::vector<std::optional<sweep::JobRecord>> records) {
+  std::vector<sweep::JobRecord> result;
+  result.reserve(records.size());
+  for (auto& record : records) {
+    result.push_back(std::move(*record));
+  }
+  return result;
+}
+
+int cmd_list() {
+  Table table({"scenario", "jobs", "overrides", "summary"});
+  table.align_right(1);
+  for (const scenario::Scenario& s : scenario::catalog()) {
+    const sweep::SweepSpec spec = scenario::expand_scenario(s, {});
+    std::string overrides;
+    if (s.supports_n) overrides += "--n ";
+    if (s.supports_param_range) overrides += "--param-min/max";
+    table.add_row({s.name, std::to_string(spec.jobs.size()),
+                   overrides.empty() ? "-" : overrides, s.summary});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_describe(const std::string& name) {
+  const scenario::Scenario* s = scenario::find_scenario(name);
+  if (s == nullptr) {
+    std::cerr << "topocon: unknown scenario '" << name
+              << "' (see `topocon list`)\n";
+    return 2;
+  }
+  std::cout << s->name << " -- " << s->summary << "\n\n"
+            << s->description << "\n\n";
+  const sweep::SweepSpec spec = scenario::expand_scenario(*s, {});
+  std::cout << "Default grid (" << spec.jobs.size() << " jobs):\n";
+  Table table({"#", "family", "label", "n", "kind", "depth"});
+  table.align_right(0);
+  table.align_right(3);
+  table.align_right(5);
+  for (std::size_t j = 0; j < spec.jobs.size(); ++j) {
+    const sweep::SweepJob& job = spec.jobs[j];
+    const int depth = job.kind == sweep::JobKind::kSolvability
+                          ? job.solve.max_depth
+                          : job.analysis.depth;
+    table.add_row({std::to_string(j), job.family, job.label,
+                   std::to_string(job.n), to_string(job.kind),
+                   std::to_string(depth)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_run(const std::string& name, const RunFlags& flags) {
+  const scenario::Scenario* s = scenario::find_scenario(name);
+  if (s == nullptr) {
+    std::cerr << "topocon: unknown scenario '" << name
+              << "' (see `topocon list`)\n";
+    return 2;
+  }
+  sweep::SweepSpec spec;
+  try {
+    spec = scenario::expand_scenario(*s, flags.overrides);
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "topocon: " << error.what() << "\n";
+    return 2;
+  }
+  spec.num_threads = flags.threads;
+
+  if (flags.fail_after > 0 && flags.json_path.empty()) {
+    std::cerr << "topocon: --fail-after only makes sense with --json\n";
+    return 2;
+  }
+
+  std::vector<std::size_t> job_index(spec.jobs.size());
+  for (std::size_t j = 0; j < job_index.size(); ++j) job_index[j] = j;
+  std::vector<std::optional<sweep::JobRecord>> records(spec.jobs.size());
+
+  if (!flags.json_path.empty()) {
+    std::ofstream ckpt_out(flags.json_path, std::ios::trunc);
+    if (!ckpt_out) {
+      std::cerr << "topocon: cannot write " << flags.json_path << "\n";
+      return 1;
+    }
+    sweep::CheckpointWriter ckpt(ckpt_out);
+    ckpt.write_header(
+        make_header(s->name, flags.overrides, spec.jobs.size()));
+    run_jobs(std::move(spec), job_index, &ckpt, flags.fail_after, &records);
+    ckpt_out.close();
+    const std::vector<sweep::JobRecord> final_records =
+        unwrap(std::move(records));
+    if (!finalize_json(flags.json_path, s->name, final_records)) return 1;
+    std::cout << "Wrote " << flags.json_path << "\n\n";
+    scenario::render_records(std::cout, s->name, final_records);
+    return 0;
+  }
+
+  run_jobs(std::move(spec), job_index, nullptr, 0, &records);
+  scenario::render_records(std::cout, s->name, unwrap(std::move(records)));
+  return 0;
+}
+
+int cmd_resume(const std::string& path, const RunFlags& flags) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "topocon: cannot read " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  if (!sweep::looks_like_checkpoint(text)) {
+    // Either already finalized, or not ours at all.
+    try {
+      const sweep::SweepDocument doc =
+          sweep::read_sweep_document(std::string_view(text));
+      std::cout << path << " is already finalized; nothing to resume.\n\n";
+      for (const auto& [sweep_name, records] : doc.sweeps) {
+        scenario::render_records(std::cout, sweep_name, records);
+      }
+      return 0;
+    } catch (const std::runtime_error& error) {
+      std::cerr << "topocon: " << path
+                << " is neither a checkpoint nor a sweep document: "
+                << error.what() << "\n";
+      return 1;
+    }
+  }
+
+  sweep::CheckpointState state;
+  try {
+    state = sweep::read_checkpoint(std::string_view(text));
+  } catch (const std::runtime_error& error) {
+    std::cerr << "topocon: corrupt checkpoint " << path << ": "
+              << error.what() << "\n";
+    return 1;
+  }
+
+  const std::string* scenario_name = meta_value(state.header, "scenario");
+  const scenario::Scenario* s =
+      scenario_name != nullptr ? scenario::find_scenario(*scenario_name)
+                               : nullptr;
+  if (s == nullptr) {
+    std::cerr << "topocon: checkpoint " << path
+              << " names no known scenario\n";
+    return 1;
+  }
+  sweep::SweepSpec spec;
+  try {
+    spec = scenario::expand_scenario(*s, overrides_from_meta(state.header));
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "topocon: " << error.what() << "\n";
+    return 1;
+  }
+  if (spec.jobs.size() != state.header.num_jobs) {
+    std::cerr << "topocon: checkpoint job count " << state.header.num_jobs
+              << " does not match the scenario grid (" << spec.jobs.size()
+              << " jobs)\n";
+    return 1;
+  }
+  spec.num_threads = flags.threads;
+
+  std::vector<std::optional<sweep::JobRecord>> records(spec.jobs.size());
+  for (auto& [job, record] : state.completed) {
+    // Guard against a stale checkpoint from a different catalog version:
+    // matching job count alone would silently merge records with
+    // different semantics and break the byte-identity guarantee.
+    const sweep::SweepJob& expected = spec.jobs[job];
+    if (record.family != expected.family || record.label != expected.label ||
+        record.n != expected.n) {
+      std::cerr << "topocon: checkpoint job " << job << " is "
+                << record.family << " " << record.label
+                << " but the scenario grid expects " << expected.family
+                << " " << expected.label
+                << "; was the checkpoint written by another version?\n";
+      return 1;
+    }
+    records[job] = std::move(record);
+  }
+  sweep::SweepSpec pending;
+  pending.name = spec.name;
+  pending.record = false;
+  pending.num_threads = spec.num_threads;
+  std::vector<std::size_t> job_index;
+  for (std::size_t j = 0; j < spec.jobs.size(); ++j) {
+    if (!records[j].has_value()) {
+      job_index.push_back(j);
+      pending.jobs.push_back(std::move(spec.jobs[j]));
+    }
+  }
+  std::cout << "Resuming " << s->name << ": " << state.completed.size()
+            << " of " << spec.jobs.size() << " jobs checkpointed, "
+            << pending.jobs.size() << " to run"
+            << (state.partial_tail ? " (dropped a torn trailing line)" : "")
+            << "\n";
+
+  // Rewrite the checkpoint from the recovered state instead of appending
+  // after whatever the kill left behind: a torn trailing line would
+  // otherwise concatenate with the first new record and poison the file
+  // for any further resume. Record lines serialize deterministically, so
+  // the rewrite reproduces the surviving lines byte for byte; atomic_write
+  // ensures a crash here cannot lose the progress the checkpoint exists
+  // to protect.
+  const bool rewritten = atomic_write(path, [&](std::ostream& out) {
+    sweep::CheckpointWriter rewrite(out);
+    rewrite.write_header(state.header);
+    for (std::size_t j = 0; j < records.size(); ++j) {
+      if (records[j].has_value()) rewrite.append(j, *records[j]);
+    }
+  });
+  if (!rewritten) return 1;
+  std::ofstream ckpt_out(path, std::ios::app);
+  if (!ckpt_out) {
+    std::cerr << "topocon: cannot append to " << path << "\n";
+    return 1;
+  }
+  sweep::CheckpointWriter ckpt(ckpt_out);
+  run_jobs(std::move(pending), job_index, &ckpt, flags.fail_after, &records);
+  ckpt_out.close();
+  const std::vector<sweep::JobRecord> final_records =
+      unwrap(std::move(records));
+  if (!finalize_json(path, s->name, final_records)) return 1;
+  std::cout << "Wrote " << path << "\n\n";
+  scenario::render_records(std::cout, s->name, final_records);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string_view command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    return usage(std::cout, 0);
+  }
+  if (command == "list") {
+    if (argc != 2) return usage(std::cerr, 2);
+    return cmd_list();
+  }
+  if (command == "describe") {
+    if (argc != 3) return usage(std::cerr, 2);
+    return cmd_describe(argv[2]);
+  }
+  if (command == "run" || command == "resume") {
+    if (argc < 3 || argv[2][0] == '-') return usage(std::cerr, 2);
+    RunFlags flags;
+    if (!parse_flags(argc, argv, 3, &flags)) return 2;
+    if (command == "run") return cmd_run(argv[2], flags);
+    if (!flags.json_path.empty() || flags.overrides.n.has_value() ||
+        flags.overrides.param_min.has_value() ||
+        flags.overrides.param_max.has_value()) {
+      std::cerr << "topocon: resume takes the checkpoint PATH plus "
+                   "--threads/--fail-after only\n";
+      return 2;
+    }
+    return cmd_resume(argv[2], flags);
+  }
+  std::cerr << "topocon: unknown command '" << command << "'\n";
+  return usage(std::cerr, 2);
+}
