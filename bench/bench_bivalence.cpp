@@ -33,14 +33,14 @@ void print_series(std::ostream& out, const sweep::JobOutcome& outcome) {
 
 void print_report(std::ostream& out) {
   out << "== E4: bivalence survival per depth (Section 6.1)\n\n";
-  sweep::SweepSpec spec;
-  spec.name = "E4-bivalence-survival";
+  api::Session session;
   AnalysisOptions to7;
   to7.depth = 7;
   to7.keep_levels = false;
-  spec.jobs.push_back(sweep::series_job({"lossy_link", 2, 0b011}, to7));
-  spec.jobs.push_back(sweep::series_job({"lossy_link", 2, 0b111}, to7));
-  const auto outcomes = sweep::run_sweep(spec);
+  const auto outcomes =
+      session.run("E4-bivalence-survival",
+                  {api::depth_series({"lossy_link", 2, 0b011}, to7),
+                   api::depth_series({"lossy_link", 2, 0b111}, to7)});
   print_series(out, outcomes[0]);  // {<-, ->}: dies after round 1
   print_series(out, outcomes[1]);  // {<-, ->, <->}: survives forever
 

@@ -1,8 +1,11 @@
 // Shared helper for bench binaries: print the reproduced paper artifact
-// first, then run the google-benchmark timing section.
+// first, then run the google-benchmark timing section. Reports phrase
+// their sweeps as api::Query lists on one api::Session per report (the
+// session owns the pool; Session::run mirrors every named run into the
+// global registry for --sweep-json).
 //
 // Sweep plumbing (parsed before google-benchmark sees argv):
-//   --sweep-threads=N    thread count for every run_sweep in the report
+//   --sweep-threads=N    session thread count for the report's sweeps
 //                        (default: hardware_concurrency)
 //   --sweep-json=PATH    dump all sweeps run by the report as JSON; the
 //                        document is byte-identical for every N
@@ -12,8 +15,8 @@
 
 #include <iostream>
 
+#include "api/api.hpp"
 #include "runtime/sweep/cli.hpp"
-#include "runtime/sweep/engine.hpp"
 
 #define TOPOCON_BENCH_MAIN(print_report)                                 \
   int main(int argc, char** argv) {                                      \

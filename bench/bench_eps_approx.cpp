@@ -39,19 +39,20 @@ void print_series(std::ostream& out, const sweep::JobOutcome& outcome) {
 void print_report(std::ostream& out) {
   out << "== E6: epsilon-approximation convergence (Section 6.2, "
          "Figure 4)\n\n";
-  sweep::SweepSpec spec;
-  spec.name = "E6-eps-convergence";
+  api::Session session;
+  std::vector<api::Query> queries;
   AnalysisOptions to8;
   to8.depth = 8;
   to8.keep_levels = false;
-  spec.jobs.push_back(sweep::series_job({"lossy_link", 2, 0b011}, to8));
-  spec.jobs.push_back(sweep::series_job({"lossy_link", 2, 0b101}, to8));
-  spec.jobs.push_back(sweep::series_job({"lossy_link", 2, 0b111}, to8));
+  queries.push_back(api::depth_series({"lossy_link", 2, 0b011}, to8));
+  queries.push_back(api::depth_series({"lossy_link", 2, 0b101}, to8));
+  queries.push_back(api::depth_series({"lossy_link", 2, 0b111}, to8));
   AnalysisOptions omission4 = to8;
   omission4.depth = 4;
   omission4.max_states = 6'000'000;
-  spec.jobs.push_back(sweep::series_job({"omission", 3, 1}, omission4));
-  for (const sweep::JobOutcome& outcome : sweep::run_sweep(spec)) {
+  queries.push_back(api::depth_series({"omission", 3, 1}, omission4));
+  for (const sweep::JobOutcome& outcome :
+       session.run("E6-eps-convergence", queries)) {
     print_series(out, outcome);
   }
   out << "Expected shape: solvable adversaries separate at depth 1 and "
@@ -63,8 +64,7 @@ void print_report(std::ostream& out) {
   // Each topology is one depth-3 series job on the sweep engine.
   out << "Topology comparison on the impossible {<-, ->, <->} at depth "
          "3:\n";
-  sweep::SweepSpec topo_spec;
-  topo_spec.name = "E6-topology-comparison";
+  std::vector<api::Query> topo_queries;
   const auto topology_options = [](AdjacencyTopology topology,
                                    NodeMask pset) {
     AnalysisOptions options;
@@ -74,18 +74,19 @@ void print_report(std::ostream& out) {
     options.pview_set = pset;
     return options;
   };
-  topo_spec.jobs.push_back(sweep::series_job(
+  topo_queries.push_back(api::depth_series(
       {"lossy_link", 2, 0b111}, topology_options(AdjacencyTopology::kMin, 0)));
-  topo_spec.jobs.push_back(
-      sweep::series_job({"lossy_link", 2, 0b111},
+  topo_queries.push_back(
+      api::depth_series({"lossy_link", 2, 0b111},
                         topology_options(AdjacencyTopology::kPView, 0b01)));
-  topo_spec.jobs.push_back(
-      sweep::series_job({"lossy_link", 2, 0b111},
+  topo_queries.push_back(
+      api::depth_series({"lossy_link", 2, 0b111},
                         topology_options(AdjacencyTopology::kPView, 0b10)));
-  topo_spec.jobs.push_back(
-      sweep::series_job({"lossy_link", 2, 0b111},
+  topo_queries.push_back(
+      api::depth_series({"lossy_link", 2, 0b111},
                         topology_options(AdjacencyTopology::kPView, 0b11)));
-  const auto topo_outcomes = sweep::run_sweep(topo_spec);
+  const auto topo_outcomes =
+      session.run("E6-topology-comparison", topo_queries);
   const char* topo_names[] = {"d_min (Section 4.2)", "d_{1} (P-view, P={1})",
                               "d_{2} (P-view, P={2})",
                               "d_max (common prefix)"};

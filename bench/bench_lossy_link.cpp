@@ -18,15 +18,15 @@ using namespace topocon;
 
 void print_report(std::ostream& out) {
   out << "== E3: lossy-link solvability table (n = 2, Section 6.1)\n\n";
-  sweep::SweepSpec spec;
-  spec.name = "E3-lossy-link";
+  api::Session session;
+  std::vector<api::Query> queries;
   SolvabilityOptions options;
   options.max_depth = 8;
   for (int mask = 1; mask < 8; ++mask) {
-    spec.jobs.push_back(sweep::solvability_job({"lossy_link", 2, mask},
-                                               options));
+    queries.push_back(api::solvability({"lossy_link", 2, mask}, options));
   }
-  const std::vector<sweep::JobOutcome> outcomes = sweep::run_sweep(spec);
+  const std::vector<sweep::JobOutcome> outcomes =
+      session.run("E3-lossy-link", queries);
 
   Table table({"adversary", "oracle", "checker verdict", "CGP-style heuristic",
                "cert depth", "components", "worst decision round",

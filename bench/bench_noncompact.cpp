@@ -52,15 +52,14 @@ void print_report(std::ostream& out) {
   out << "\n(2) Closure analysis: merged at every depth (the "
          "epsilon-approximation\n    cannot certify this solvable "
          "adversary):\n";
-  sweep::SweepSpec spec;
-  spec.name = "E7-finite-loss-closure";
+  api::Session session;
   AnalysisOptions closure_options;
   closure_options.depth = 3;
   closure_options.keep_levels = false;
   closure_options.max_states = 6'000'000;
-  spec.jobs.push_back(sweep::series_job({"finite_loss", n, 0},
-                                        closure_options));
-  const auto outcomes = sweep::run_sweep(spec);
+  const auto outcomes = session.run(
+      "E7-finite-loss-closure",
+      {api::depth_series({"finite_loss", n, 0}, closure_options)});
   Table closure({"depth", "components", "merged", "separated"});
   for (const DepthStats& stats : outcomes[0].series) {
     closure.add_row({std::to_string(stats.depth),

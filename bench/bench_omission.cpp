@@ -53,19 +53,19 @@ bool flood_min_always_correct(const MessageAdversary& ma, int n) {
   return true;
 }
 
-void sweep(std::ostream& out, int n, int max_f, int max_depth,
-           std::size_t max_states) {
-  sweep::SweepSpec spec;
-  spec.name = "E5-omission-n" + std::to_string(n);
+void sweep(std::ostream& out, api::Session& session, int n, int max_f,
+           int max_depth, std::size_t max_states) {
+  std::vector<api::Query> queries;
   SolvabilityOptions options;
   options.max_depth = max_depth;
   options.max_states = max_states;
   options.build_table = false;
   for (int f = 0; f <= max_f; ++f) {
-    spec.jobs.push_back(sweep::solvability_job({"omission", n, f}, options));
+    queries.push_back(api::solvability({"omission", n, f}, options));
   }
   const auto start = std::chrono::steady_clock::now();
-  const std::vector<sweep::JobOutcome> outcomes = sweep::run_sweep(spec);
+  const std::vector<sweep::JobOutcome> outcomes =
+      session.run("E5-omission-n" + std::to_string(n), queries);
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -88,14 +88,15 @@ void sweep(std::ostream& out, int n, int max_f, int max_depth,
          yes_no(exhaustive), fmt(flood_min_success(*ma, n, 300), 2)});
   }
   table.print(out);
-  out << "(sweep: " << spec.jobs.size() << " jobs in " << fmt(elapsed, 3)
-      << " s on " << sweep::default_num_threads() << " thread(s))\n\n";
+  out << "(sweep: " << queries.size() << " jobs in " << fmt(elapsed, 3)
+      << " s on " << session.num_threads() << " thread(s))\n\n";
 }
 
 void print_report(std::ostream& out) {
   out << "== E5: Santoro-Widmayer omission sweep (Section 6.1, [21, 22])\n\n";
-  sweep(out, 2, 2, 6, 2'000'000);
-  sweep(out, 3, 4, 3, 6'000'000);
+  api::Session session;
+  sweep(out, session, 2, 2, 6, 2'000'000);
+  sweep(out, session, 3, 4, 3, 6'000'000);
   out << "Expected shape: solvable exactly for f <= n-2; FloodMin(n-1)\n"
          "exhaustively correct in the solvable regime and failing at\n"
          "f = n-1 (the adversary can silence the minimum's holder).\n\n";

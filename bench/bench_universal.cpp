@@ -42,18 +42,19 @@ void profile(std::ostream& out, const sweep::JobOutcome& outcome) {
 
 void print_report(std::ostream& out) {
   out << "== E9: universal algorithm (Theorem 5.5) cost profile\n\n";
-  sweep::SweepSpec spec;
-  spec.name = "E9-universal-profile";
+  api::Session session;
+  std::vector<api::Query> queries;
   SolvabilityOptions to6;
   to6.max_depth = 6;
-  spec.jobs.push_back(sweep::solvability_job({"lossy_link", 2, 0b011}, to6));
-  spec.jobs.push_back(sweep::solvability_job({"lossy_link", 2, 0b101}, to6));
-  spec.jobs.push_back(sweep::solvability_job({"lossy_link", 2, 0b100}, to6));
+  queries.push_back(api::solvability({"lossy_link", 2, 0b011}, to6));
+  queries.push_back(api::solvability({"lossy_link", 2, 0b101}, to6));
+  queries.push_back(api::solvability({"lossy_link", 2, 0b100}, to6));
   SolvabilityOptions omission;
   omission.max_depth = 4;
   omission.max_states = 6'000'000;
-  spec.jobs.push_back(sweep::solvability_job({"omission", 3, 1}, omission));
-  for (const sweep::JobOutcome& outcome : sweep::run_sweep(spec)) {
+  queries.push_back(api::solvability({"omission", 3, 1}, omission));
+  for (const sweep::JobOutcome& outcome :
+       session.run("E9-universal-profile", queries)) {
     profile(out, outcome);
   }
 }

@@ -23,20 +23,19 @@ namespace {
 
 using namespace topocon;
 
-void sweep(std::ostream& out, int n, int max_k) {
+void sweep(std::ostream& out, api::Session& session, int n, int max_k) {
   out << "n = " << n << " processes (stable-window algorithm with "
       << "verification window 2n = " << 2 * n << "):\n";
-  sweep::SweepSpec spec;
-  spec.name = "E8-vssc-n" + std::to_string(n);
+  std::vector<api::Query> queries;
   SolvabilityOptions closure_options;
   closure_options.max_depth = 3;
   closure_options.max_states = 4'000'000;
   closure_options.build_table = false;
   for (int k = 1; k <= max_k; ++k) {
-    spec.jobs.push_back(sweep::solvability_job({"vssc", n, k},
-                                               closure_options));
+    queries.push_back(api::solvability({"vssc", n, k}, closure_options));
   }
-  const auto outcomes = sweep::run_sweep(spec);
+  const auto outcomes =
+      session.run("E8-vssc-n" + std::to_string(n), queries);
 
   Table table({"stability k", "oracle", "closure verdict", "runs decided",
                "agreement+validity", "mean decision round"});
@@ -80,8 +79,9 @@ void sweep(std::ostream& out, int n, int max_k) {
 
 void print_report(std::ostream& out) {
   out << "== E8: VSSC stability sweep (Section 6.3, [6, 23])\n\n";
-  sweep(out, 2, 7);
-  sweep(out, 3, 10);
+  api::Session session;
+  sweep(out, session, 2, 7);
+  sweep(out, session, 3, 10);
   out << "Expected shape: closure NOT-SEPARATED for every k (prefix\n"
          "analysis cannot see liveness); decision rate 0 for k < 2n (no\n"
          "verifiable window), everything decided with T/A/V for k >= 3n;\n"

@@ -19,16 +19,15 @@ using namespace topocon;
 void print_report(std::ostream& out) {
   out << "== E11 (ablation): repetition windows vs lossy-link "
          "solvability\n\n";
-  sweep::SweepSpec windows;
-  windows.name = "E11-windowed";
+  api::Session session;
+  std::vector<api::Query> windows;
   SolvabilityOptions window_options;
   window_options.max_depth = 8;
   for (int w = 1; w <= 4; ++w) {
-    windows.jobs.push_back(
-        sweep::solvability_job({"windowed_lossy_link", 2, w},
-                               window_options));
+    windows.push_back(
+        api::solvability({"windowed_lossy_link", 2, w}, window_options));
   }
-  const auto window_outcomes = sweep::run_sweep(windows);
+  const auto window_outcomes = session.run("E11-windowed", windows);
 
   Table table({"window w", "checker verdict", "cert depth",
                "worst decision round", "leaf classes at cert depth"});
@@ -50,19 +49,17 @@ void print_report(std::ostream& out) {
          "admissible 2-prefixes are doubled graphs).\n\n";
 
   out << "Heard-Of sweep (per-receiver in-degree bound, [7]):\n";
-  sweep::SweepSpec heard;
-  heard.name = "E11-heard-of";
+  std::vector<api::Query> heard;
   for (int n = 2; n <= 3; ++n) {
     for (int k = 1; k <= n; ++k) {
       SolvabilityOptions options;
       options.max_depth = n == 2 ? 6 : 3;
       options.max_states = 6'000'000;
       options.build_table = false;
-      heard.jobs.push_back(sweep::solvability_job({"heard_of", n, k},
-                                                  options));
+      heard.push_back(api::solvability({"heard_of", n, k}, options));
     }
   }
-  const auto heard_outcomes = sweep::run_sweep(heard);
+  const auto heard_outcomes = session.run("E11-heard-of", heard);
   Table ho({"n", "min heard-of k", "checker verdict"});
   std::size_t row = 0;
   for (int n = 2; n <= 3; ++n) {

@@ -2,17 +2,23 @@
 // message adversary by its graph alphabet, run the full topological
 // analysis, and print verdict, components, and obstructions.
 //
-// Usage: adversary_cli N ALPHABET [MAX_DEPTH]
-//   N        number of processes (2..4)
-//   ALPHABET graphs separated by '|'; each graph is a comma-separated
-//            list of directed edges "p>q" (0-based; self-loops implicit);
-//            an empty graph is written as '-'.
-//   MAX_DEPTH iterative-deepening bound (default 6)
+// Custom alphabets are not FamilyPoints, so this is the one example that
+// talks to the core checker directly instead of phrasing an api::Query;
+// its flags use the shared runtime/sweep/cli helpers like every other
+// topocon binary (`--name=value` form).
+//
+// Usage: adversary_cli N ALPHABET [--max-depth=K] [--max-states=M]
+//   N            number of processes (2..4)
+//   ALPHABET     graphs separated by '|'; each graph is a comma-separated
+//                list of directed edges "p>q" (0-based; self-loops
+//                implicit); an empty graph is written as '-'.
+//   --max-depth  iterative-deepening bound (default 6)
+//   --max-states per-level state budget (default 6000000)
 //
 // Examples:
 //   adversary_cli 2 '1>0|0>1'            # CGP solvable pair
 //   adversary_cli 2 '1>0|0>1|0>1,1>0'    # Santoro-Widmayer impossible
-//   adversary_cli 3 '0>1,1>2,2>0|-'      # ring or silence
+//   adversary_cli 3 '0>1,1>2,2>0|-' --max-depth=4   # ring or silence
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -22,6 +28,7 @@
 #include "analysis/report.hpp"
 #include "core/obstruction.hpp"
 #include "core/solvability.hpp"
+#include "runtime/sweep/cli.hpp"
 
 namespace {
 
@@ -51,12 +58,33 @@ bool parse_graph(const std::string& spec, int n, Digraph& out) {
 
 int main(int argc, char** argv) {
   if (argc < 3) {
-    std::cerr << "usage: adversary_cli N 'graph|graph|...' [max_depth]\n"
+    std::cerr << "usage: adversary_cli N 'graph|graph|...' "
+                 "[--max-depth=K] [--max-states=M]\n"
                  "       graph = 'p>q,p>q,...' or '-' (self-loops "
                  "implicit)\n";
     return 2;
   }
-  const int n = std::stoi(argv[1]);
+  int n = 0;
+  int max_depth = 6;
+  std::size_t max_states = 6'000'000;
+  try {
+    n = sweep::parse_int_value("n", argv[1]);
+    for (int i = 3; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (const auto v = sweep::flag_value(arg, "max-depth")) {
+        max_depth = sweep::parse_int_value("max-depth", *v);
+      } else if (const auto v = sweep::flag_value(arg, "max-states")) {
+        max_states = static_cast<std::size_t>(
+            sweep::parse_int_value("max-states", *v));
+      } else {
+        std::cerr << "adversary_cli: unknown argument '" << arg << "'\n";
+        return 2;
+      }
+    }
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "adversary_cli: " << error.what() << "\n";
+    return 2;
+  }
   if (n < 2 || n > 4) {
     std::cerr << "N must be in 2..4\n";
     return 2;
@@ -76,7 +104,6 @@ int main(int argc, char** argv) {
     std::cerr << "empty alphabet\n";
     return 2;
   }
-  const int max_depth = argc > 3 ? std::stoi(argv[3]) : 6;
 
   std::cout << "Alphabet (" << alphabet.size() << " graphs):\n";
   for (std::size_t i = 0; i < alphabet.size(); ++i) {
@@ -86,7 +113,7 @@ int main(int argc, char** argv) {
 
   SolvabilityOptions options;
   options.max_depth = max_depth;
-  options.max_states = 6'000'000;
+  options.max_states = max_states;
   const SolvabilityResult result = check_solvability(ma, options);
 
   std::cout << "\nPer-depth analysis:\n";

@@ -13,7 +13,7 @@
 
 #include "adversary/finite_loss.hpp"
 #include "adversary/sampler.hpp"
-#include "core/epsilon_approx.hpp"
+#include "api/api.hpp"
 #include "runtime/ack_consensus.hpp"
 #include "runtime/simulator.hpp"
 #include "runtime/verify.hpp"
@@ -29,17 +29,17 @@ int main(int argc, char** argv) {
 
   std::cout << "Closure analysis (always merged -- Theorem 6.6 cannot "
                "apply):\n";
-  for (int depth = 1; depth <= 3; ++depth) {
-    AnalysisOptions options;
-    options.depth = depth;
-    options.keep_levels = false;
-    options.max_states = 4'000'000;
-    const DepthAnalysis analysis = analyze_depth(adversary, options);
-    if (analysis.truncated) break;
-    std::cout << "  depth " << depth << ": " << analysis.components.size()
-              << " components, merged " << analysis.merged_components
-              << ", separated: "
-              << (analysis.valence_separated ? "yes" : "no") << "\n";
+  api::Session session;
+  AnalysisOptions options;
+  options.depth = 3;
+  options.max_states = 4'000'000;
+  const sweep::JobOutcome closure =
+      session.run_one(api::depth_series({"finite_loss", n, 0}, options));
+  for (const DepthStats& stats : closure.series) {
+    std::cout << "  depth " << stats.depth << ": " << stats.num_components
+              << " components, merged " << stats.merged_components
+              << ", separated: " << (stats.separated ? "yes" : "no")
+              << "\n";
   }
 
   std::cout << "\nAckConsensus on sampled admissible runs:\n";

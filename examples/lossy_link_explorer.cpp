@@ -21,10 +21,10 @@
 #include "adversary/lossy_link.hpp"
 #include "analysis/oracles.hpp"
 #include "analysis/report.hpp"
+#include "api/api.hpp"
 #include "core/obstruction.hpp"
 #include "core/solvability.hpp"
 #include "runtime/sweep/cli.hpp"
-#include "runtime/sweep/engine.hpp"
 #include "runtime/sweep/parallel_solver.hpp"
 
 int main(int argc, char** argv) {
@@ -50,11 +50,13 @@ int main(int argc, char** argv) {
             << (lossy_link_solvable(mask) ? "solvable" : "impossible")
             << "\n\n";
 
-  sweep::ThreadPool pool(sweep::default_num_threads());
+  // One session provides both the raw fixed-depth analysis (via its
+  // pool) and the solvability verdict (via a query).
+  api::Session session;
   AnalysisOptions options;
   options.depth = depth;
   const DepthAnalysis analysis =
-      sweep::parallel_analyze_depth(*ma, options, pool);
+      sweep::parallel_analyze_depth(*ma, options, session.pool());
   std::cout << "Depth-" << depth << " epsilon-approximation: "
             << analysis.leaves().size() << " leaf classes, "
             << analysis.components.size() << " components, separated: "
@@ -86,11 +88,9 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
-  sweep::SweepSpec spec;
-  spec.name = "lossy-link-explorer";
-  spec.jobs.push_back(sweep::solvability_job(
-      {"lossy_link", 2, static_cast<int>(mask)}, SolvabilityOptions{}));
-  const std::vector<sweep::JobOutcome> outcomes = sweep::run_sweep(spec);
+  const std::vector<sweep::JobOutcome> outcomes = session.run(
+      "lossy-link-explorer",
+      {api::solvability({"lossy_link", 2, static_cast<int>(mask)})});
   const SolvabilityResult& result = outcomes[0].result;
   std::cout << "\nChecker verdict: " << to_string(result.verdict) << "\n";
 

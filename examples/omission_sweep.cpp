@@ -16,10 +16,10 @@
 #include "adversary/sampler.hpp"
 #include "analysis/oracles.hpp"
 #include "analysis/report.hpp"
+#include "api/api.hpp"
 #include "runtime/flood_min.hpp"
 #include "runtime/simulator.hpp"
 #include "runtime/sweep/cli.hpp"
-#include "runtime/sweep/engine.hpp"
 #include "runtime/universal_runner.hpp"
 #include "runtime/verify.hpp"
 
@@ -33,18 +33,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::cout << "Omission sweep, n = " << n << " ("
-            << sweep::default_num_threads() << " thread(s))\n\n";
+  api::Session session;
+  std::cout << "Omission sweep, n = " << n << " (" << session.num_threads()
+            << " thread(s))\n\n";
   const int max_f = n * (n - 1);
-  sweep::SweepSpec spec;
-  spec.name = "omission-sweep-n" + std::to_string(n);
+  std::vector<api::Query> queries;
   SolvabilityOptions options;
   options.max_depth = n == 2 ? 6 : 3;
   options.max_states = 6'000'000;
   for (int f = 0; f <= max_f; ++f) {
-    spec.jobs.push_back(sweep::solvability_job({"omission", n, f}, options));
+    queries.push_back(api::solvability({"omission", n, f}, options));
   }
-  const std::vector<sweep::JobOutcome> outcomes = sweep::run_sweep(spec);
+  const std::vector<sweep::JobOutcome> outcomes =
+      session.run("omission-sweep-n" + std::to_string(n), queries);
 
   Table table({"f", "oracle [21,22]", "checker", "universal T/A/V (sampled)",
                "FloodMin(n-1) T/A/V (sampled)"});

@@ -1,9 +1,11 @@
 // Quickstart: the full pipeline on the paper's flagship solvable example,
-// the lossy link over {<-, ->} (Coulouma-Godard-Peters [8]).
+// the lossy link over {<-, ->} (Coulouma-Godard-Peters [8]), phrased
+// against the api facade (Session/Query -- see src/api/api.hpp).
 //
-//   1. Define a message adversary.
-//   2. Check consensus solvability (Theorem 6.6 / Corollary 5.6).
-//   3. Extract the universal algorithm of Theorem 5.5.
+//   1. Name the adversary as a grid point and open a Session.
+//   2. Check consensus solvability (Theorem 6.6 / Corollary 5.6) with one
+//      solvability query.
+//   3. Extract the universal algorithm of Theorem 5.5 from the result.
 //   4. Run it in the synchronous round simulator and verify T/A/V.
 //
 // Build & run:  ./build/examples/quickstart
@@ -12,7 +14,7 @@
 
 #include "adversary/lossy_link.hpp"
 #include "adversary/sampler.hpp"
-#include "core/solvability.hpp"
+#include "api/api.hpp"
 #include "runtime/simulator.hpp"
 #include "runtime/trace.hpp"
 #include "runtime/universal_runner.hpp"
@@ -22,12 +24,18 @@ int main() {
   using namespace topocon;
 
   // 1. The adversary: each round it picks "<-" (only 1 -> 0 delivered) or
-  //    "->" (only 0 -> 1 delivered).
+  //    "->" (only 0 -> 1 delivered) -- grid point {"lossy_link", n=2,
+  //    mask=0b011}. The session owns the thread pool and keeps every
+  //    certificate it returns alive.
   const auto adversary = make_lossy_link(0b011);
   std::cout << "Adversary: " << adversary->name() << "\n";
+  api::Session session;
 
-  // 2. Solvability: iterative deepening over the epsilon-approximation.
-  const SolvabilityResult result = check_solvability(*adversary);
+  // 2. Solvability: one query runs the iterative deepening over the
+  //    epsilon-approximation.
+  const sweep::JobOutcome outcome =
+      session.run_one(api::solvability({"lossy_link", 2, 0b011}));
+  const SolvabilityResult& result = outcome.result;
   std::cout << "Verdict:   " << to_string(result.verdict)
             << " (certificate depth " << result.certified_depth << ")\n";
   if (result.verdict != SolvabilityVerdict::kSolvable) return 1;

@@ -1,0 +1,131 @@
+// Session: the one entry point every front end shares.
+//
+// A Session owns, for its lifetime, the three resources a solver run
+// needs -- so consecutive runs amortize them instead of rebuilding them
+// per call (run_sweep's historical behavior):
+//
+//   * the work-helping ThreadPool jobs and their root shards execute on;
+//   * the ViewInterner arena: the interners backing every certificate
+//     (decision tables, final analyses) a run returns are retained and
+//     re-homed here, so artifacts from earlier runs stay replayable for
+//     as long as the Session lives;
+//   * the outcome history: the JSON-visible record of every named run,
+//     serializable as one topocon-sweep-v1 document (write_json).
+//
+// Determinism contract (inherited from the engine): for a fixed query
+// list, every field of the outcomes and every byte of the serialized
+// records are independent of the thread count AND of whatever the
+// Session ran before -- two consecutive run() calls on one Session
+// produce byte-identical artifacts to two fresh Sessions (enforced by
+// api_session_test).
+//
+// Streaming: an Observer watches a run as it executes -- job start, each
+// completed depth, job completion -- generalizing the single on_job_done
+// checkpoint hook of SweepSpec. Callbacks arrive serialized (no locking
+// needed inside) but in completion order; key on the job index, never on
+// arrival order. Observers cannot change results.
+//
+// Sessions are not thread-safe: one run() at a time, from one thread
+// (the parallelism lives inside the pool). Create one Session per
+// concurrent operator instead.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/query.hpp"
+#include "ptg/view_intern.hpp"
+#include "runtime/sweep/engine.hpp"
+#include "runtime/sweep/thread_pool.hpp"
+
+namespace topocon::api {
+
+struct SessionOptions {
+  /// Pool size; 0 = sweep::default_num_threads() (--sweep-threads or
+  /// hardware concurrency). Results never depend on this.
+  int num_threads = 0;
+  /// Mirror every named run into the process-global sweep::SweepRegistry
+  /// (the --sweep-json surface of the bench binaries). The registry still
+  /// applies its own enabled() gate.
+  bool record_global = true;
+};
+
+/// Streaming view of a running Session (see the header comment).
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  /// A worker picked up job `job` of the current run.
+  virtual void on_job_start(std::size_t job, const Query& query);
+  /// Job `job` completed the depth described by `stats` (solvability
+  /// deepening step or series entry), in depth order per job.
+  virtual void on_depth(std::size_t job, const DepthStats& stats);
+  /// Job `job` finished; `outcome` carries its final aggregates. Follows
+  /// every on_depth of the same job.
+  virtual void on_job_done(std::size_t job,
+                           const sweep::JobOutcome& outcome);
+};
+
+/// A named batch of queries -- what a scenario expands to and a Session
+/// runs. Pure data, like the queries themselves.
+struct Plan {
+  std::string name;
+  std::vector<Query> queries;
+};
+
+class Session {
+ public:
+  explicit Session(SessionOptions options = {});
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  int num_threads() const { return pool_.num_threads(); }
+
+  /// The session's pool, for interop with the engine primitives
+  /// (parallel_analyze_depth and friends) when a front end needs raw
+  /// DepthAnalysis objects beyond what queries record. Do not destroy or
+  /// detach it; do not call run() while a borrowed reference is mid-use
+  /// on another thread.
+  sweep::ThreadPool& pool() { return pool_; }
+
+  /// Runs the queries on the session pool; outcomes are indexed like
+  /// `queries`, with every interner re-homed to the calling thread and
+  /// retained in the session arena. Appends the run's records to the
+  /// history under `name`. Throws std::invalid_argument on an invalid
+  /// grid point (before anything runs).
+  std::vector<sweep::JobOutcome> run(const std::string& name,
+                                     const std::vector<Query>& queries,
+                                     Observer* observer = nullptr);
+  std::vector<sweep::JobOutcome> run(const Plan& plan,
+                                     Observer* observer = nullptr);
+
+  /// Single-query convenience: runs it under its point label as the run
+  /// name and returns the one outcome.
+  sweep::JobOutcome run_one(const Query& query, Observer* observer = nullptr);
+
+  /// Every named run of this session, in run order, as the JSON-visible
+  /// records (the same projection the registry and checkpoints use).
+  using History =
+      std::vector<std::pair<std::string, std::vector<sweep::JobRecord>>>;
+  const History& history() const { return history_; }
+  void clear_history() { history_.clear(); }
+
+  /// Serializes the history as one {"schema": "topocon-sweep-v1", ...}
+  /// document -- byte-identical to the global registry's dump of the
+  /// same runs.
+  void write_json(std::ostream& out) const;
+
+ private:
+  SessionOptions options_;
+  sweep::ThreadPool pool_;
+  History history_;
+  /// Keeps certificate interners of past runs alive (see header comment).
+  std::vector<std::shared_ptr<ViewInterner>> interner_arena_;
+};
+
+}  // namespace topocon::api

@@ -123,6 +123,15 @@ std::size_t DecisionTable::size() const {
   return total;
 }
 
+std::vector<std::size_t> DecisionTable::entries_per_round() const {
+  std::vector<std::size_t> per_round;
+  per_round.reserve(by_level_.size());
+  for (const auto& level : by_level_) {
+    per_round.push_back(level.size());
+  }
+  return per_round;
+}
+
 namespace {
 constexpr const char* kMagic = "topocon-decision-table-v1";
 }

@@ -62,6 +62,13 @@ class DecisionTable {
   /// Total number of (round, process, view) -> value entries.
   std::size_t size() const;
 
+  /// Entry count per round (index = round, size = depth + 1): how many
+  /// (process, view) -> value rules become applicable at each round. The
+  /// integer-valued shape of the decision profile, summing to size();
+  /// serialized by the sweep engine's decision-table extraction query
+  /// (decided_fraction() is float-valued and therefore never serialized).
+  std::vector<std::size_t> entries_per_round() const;
+
   /// Serializes the table together with the view-interner structure it
   /// references (a self-contained consensus-algorithm artifact: compile
   /// the certificate once, ship it to every process). Text format,

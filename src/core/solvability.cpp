@@ -33,7 +33,8 @@ SolvabilityResult check_solvability(const MessageAdversary& adversary,
 
 SolvabilityResult check_solvability_with(const MessageAdversary& adversary,
                                          const SolvabilityOptions& options,
-                                         const DepthAnalyzeFn& analyze) {
+                                         const DepthAnalyzeFn& analyze,
+                                         const DepthProgressFn& on_depth) {
   SolvabilityResult result;
   result.closure_only = !adversary.is_compact();
   auto interner = std::make_shared<ViewInterner>();
@@ -61,6 +62,7 @@ SolvabilityResult check_solvability_with(const MessageAdversary& adversary,
     stats.strong_assignable = cheap.strong_assignable;
     stats.interner_views = interner->size();
     result.per_depth.push_back(stats);
+    if (on_depth) on_depth(stats);
 
     const bool certified =
         cheap.valence_separated &&

@@ -101,8 +101,14 @@ SolvabilityResult check_solvability(const MessageAdversary& adversary,
 /// differ if the analyses differ.
 using DepthAnalyzeFn = std::function<DepthAnalysis(
     const AnalysisOptions&, const std::shared_ptr<ViewInterner>&)>;
+/// Streaming progress callback: invoked once per completed depth with the
+/// depth's aggregate statistics, in depth order, before the verdict is
+/// known. Purely observational -- the result is identical with or without
+/// it. Feeds api::Observer::on_depth.
+using DepthProgressFn = std::function<void(const DepthStats&)>;
 SolvabilityResult check_solvability_with(const MessageAdversary& adversary,
                                          const SolvabilityOptions& options,
-                                         const DepthAnalyzeFn& analyze);
+                                         const DepthAnalyzeFn& analyze,
+                                         const DepthProgressFn& on_depth = {});
 
 }  // namespace topocon

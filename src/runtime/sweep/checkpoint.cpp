@@ -64,6 +64,14 @@ void write_meta_compact(JsonWriter& writer, const CheckpointHeader& header) {
     writer.member(key, value);
   }
   writer.end_object();
+  if (!header.queries.empty()) {
+    writer.key("queries");
+    writer.begin_array();
+    for (const JsonValue& query : header.queries) {
+      write_json_value(writer, query);
+    }
+    writer.end_array();
+  }
 }
 
 }  // namespace
@@ -162,6 +170,18 @@ CheckpointState read_checkpoint(std::string_view text) {
         for (const auto& [key, meta_value] : value.at("meta").members) {
           state.header.meta.emplace_back(key, meta_value.as_string());
         }
+        if (const JsonValue* queries = value.find("queries")) {
+          if (!queries->is_array()) {
+            throw std::runtime_error("checkpoint: \"queries\" is not an array");
+          }
+          if (queries->elements.size() != state.header.num_jobs) {
+            throw std::runtime_error(
+                "checkpoint: " + std::to_string(queries->elements.size()) +
+                " queries for " + std::to_string(state.header.num_jobs) +
+                " jobs");
+          }
+          state.header.queries = queries->elements;
+        }
         slot.assign(static_cast<std::size_t>(state.header.num_jobs),
                     kUnseen);
         saw_header = true;
@@ -226,6 +246,31 @@ JobRecord job_record_from_json(const JsonValue& value) {
                              "\"");
   }
   record.kind = *kind;
+  if (record.kind == JobKind::kDecisionTable) {
+    record.verdict = value.at("verdict").as_string();
+    if (!parse_solvability_verdict(record.verdict).has_value()) {
+      throw std::runtime_error("sweep json: unknown verdict \"" +
+                               record.verdict + "\"");
+    }
+    record.certified_depth =
+        static_cast<int>(value.at("certified_depth").as_int());
+    record.closure_only = value.at("closure_only").as_bool();
+    if (const JsonValue* table = value.find("table")) {
+      JobRecord::Table decoded;
+      decoded.entries = table->at("entries").as_uint();
+      decoded.worst_decision_round =
+          static_cast<int>(table->at("worst_decision_round").as_int());
+      record.table = decoded;
+      const JsonValue& rounds = value.at("round_entries");
+      if (!rounds.is_array()) {
+        throw std::runtime_error("sweep json: round_entries is not an array");
+      }
+      for (const JsonValue& entries : rounds.elements) {
+        record.round_entries.push_back(entries.as_uint());
+      }
+    }
+    return record;
+  }
   if (record.kind == JobKind::kSolvability) {
     record.verdict = value.at("verdict").as_string();
     if (!parse_solvability_verdict(record.verdict).has_value()) {

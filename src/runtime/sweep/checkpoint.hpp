@@ -35,12 +35,18 @@ inline constexpr std::string_view kCheckpointSchema = "topocon-sweep-ckpt-v1";
 
 /// First line of a checkpoint file: what sweep this is and how to rebuild
 /// it. `meta` is an ordered string map for the producer's own use (the
-/// topocon CLI stores the scenario name and grid overrides so `resume`
-/// can re-expand the identical job list).
+/// topocon CLI stores the scenario name and grid overrides for display
+/// and validation). `queries` carries the FULL job description -- one
+/// serialized api::Query object per job, in job order (api::query_to_json
+/// / api::query_from_json) -- so a resume rebuilds the exact job list
+/// from the checkpoint itself instead of re-deriving it from a catalog
+/// that may have changed. Checkpoints written before the api facade have
+/// no "queries" member; readers fall back to meta-based reconstruction.
 struct CheckpointHeader {
   std::string sweep_name;
   std::uint64_t num_jobs = 0;
   std::vector<std::pair<std::string, std::string>> meta;
+  std::vector<JsonValue> queries;
 
   friend bool operator==(const CheckpointHeader&,
                          const CheckpointHeader&) = default;

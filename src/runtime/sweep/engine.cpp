@@ -92,6 +92,24 @@ void write_job_record_json(JsonWriter& writer, const JobRecord& record) {
                     record.table->worst_decision_round);
       writer.end_object();
     }
+  } else if (record.kind == JobKind::kDecisionTable) {
+    writer.member("verdict", record.verdict);
+    writer.member("certified_depth", record.certified_depth);
+    writer.member("closure_only", record.closure_only);
+    if (record.table.has_value()) {
+      writer.key("table");
+      writer.begin_object();
+      writer.member("entries", record.table->entries);
+      writer.member("worst_decision_round",
+                    record.table->worst_decision_round);
+      writer.end_object();
+      writer.key("round_entries");
+      writer.begin_array();
+      for (const std::uint64_t entries : record.round_entries) {
+        writer.value(entries);
+      }
+      writer.end_array();
+    }
   } else {
     writer.key("series");
     writer.begin_array();
@@ -118,6 +136,26 @@ JobRecord summarize(const JobOutcome& outcome) {
   record.verdict = to_string(outcome.result.verdict);
   record.certified_depth = outcome.result.certified_depth;
   record.closure_only = outcome.result.closure_only;
+  if (outcome.result.table.has_value()) {
+    JobRecord::Table table;
+    table.entries =
+        static_cast<std::uint64_t>(outcome.result.table->size());
+    table.worst_decision_round =
+        outcome.result.table->worst_case_decision_round();
+    record.table = table;
+  }
+  if (outcome.kind == JobKind::kDecisionTable) {
+    // The extraction record is about the certificate artifact: the table
+    // shape, not the per-depth search statistics.
+    if (outcome.result.table.has_value()) {
+      for (const std::size_t entries :
+           outcome.result.table->entries_per_round()) {
+        record.round_entries.push_back(
+            static_cast<std::uint64_t>(entries));
+      }
+    }
+    return record;
+  }
   record.per_depth = outcome.result.per_depth;
   if (outcome.result.analysis.has_value()) {
     const DepthAnalysis& analysis = *outcome.result.analysis;
@@ -134,14 +172,6 @@ JobRecord summarize(const JobOutcome& outcome) {
                                                  kMaxJsonComponents)));
     record.final_analysis = std::move(final_analysis);
   }
-  if (outcome.result.table.has_value()) {
-    JobRecord::Table table;
-    table.entries =
-        static_cast<std::uint64_t>(outcome.result.table->size());
-    table.worst_decision_round =
-        outcome.result.table->worst_case_decision_round();
-    record.table = table;
-  }
   return record;
 }
 
@@ -149,6 +179,7 @@ const char* to_string(JobKind kind) {
   switch (kind) {
     case JobKind::kSolvability: return "solvability";
     case JobKind::kDepthSeries: return "depth_series";
+    case JobKind::kDecisionTable: return "decision_table";
   }
   return "?";
 }
@@ -156,16 +187,14 @@ const char* to_string(JobKind kind) {
 std::optional<JobKind> parse_job_kind(std::string_view name) {
   if (name == "solvability") return JobKind::kSolvability;
   if (name == "depth_series") return JobKind::kDepthSeries;
+  if (name == "decision_table") return JobKind::kDecisionTable;
   return std::nullopt;
 }
 
 SweepJob solvability_job(const FamilyPoint& point,
                          const SolvabilityOptions& options) {
   SweepJob job;
-  job.family = point.family;
-  job.label = family_point_label(point);
-  job.n = point.n;
-  job.make = [point] { return make_family_adversary(point); };
+  job.point = point;
   job.kind = JobKind::kSolvability;
   job.solve = options;
   return job;
@@ -173,10 +202,7 @@ SweepJob solvability_job(const FamilyPoint& point,
 
 SweepJob series_job(const FamilyPoint& point, const AnalysisOptions& options) {
   SweepJob job;
-  job.family = point.family;
-  job.label = family_point_label(point);
-  job.n = point.n;
-  job.make = [point] { return make_family_adversary(point); };
+  job.point = point;
   job.kind = JobKind::kDepthSeries;
   job.analysis = options;
   return job;
@@ -190,25 +216,38 @@ int default_num_threads() {
   return resolve_threads(g_default_threads.load(std::memory_order_relaxed));
 }
 
-std::vector<JobOutcome> run_sweep(const SweepSpec& spec) {
-  const int threads =
-      spec.num_threads > 0 ? spec.num_threads : default_num_threads();
-  ThreadPool pool(threads);
+std::vector<JobOutcome> run_sweep_on(const SweepSpec& spec, ThreadPool& pool,
+                                     const SweepHooks& hooks) {
   std::vector<JobOutcome> outcomes(spec.jobs.size());
-  std::mutex done_mutex;
+  std::mutex hook_mutex;
 
   pool.parallel_for(spec.jobs.size(), [&](std::size_t j) {
     const SweepJob& job = spec.jobs[j];
     JobOutcome& outcome = outcomes[j];
-    outcome.family = job.family;
-    outcome.label = job.label;
-    outcome.n = job.n;
+    outcome.family = job.point.family;
+    outcome.label = family_point_label(job.point);
+    outcome.n = job.point.n;
     outcome.kind = job.kind;
+    if (hooks.on_job_start) {
+      const std::lock_guard<std::mutex> lock(hook_mutex);
+      hooks.on_job_start(j, job);
+    }
+    DepthProgressFn on_depth;
+    if (hooks.on_depth) {
+      on_depth = [&, j](const DepthStats& stats) {
+        const std::lock_guard<std::mutex> lock(hook_mutex);
+        hooks.on_depth(j, stats);
+      };
+    }
     const auto start = std::chrono::steady_clock::now();
-    const std::unique_ptr<MessageAdversary> adversary = job.make();
-    if (job.kind == JobKind::kSolvability) {
+    const std::unique_ptr<MessageAdversary> adversary =
+        make_family_adversary(job.point);
+    if (job.kind == JobKind::kSolvability ||
+        job.kind == JobKind::kDecisionTable) {
+      SolvabilityOptions solve = job.solve;
+      if (job.kind == JobKind::kDecisionTable) solve.build_table = true;
       outcome.result =
-          parallel_check_solvability(*adversary, job.solve, pool);
+          parallel_check_solvability(*adversary, solve, pool, on_depth);
     } else {
       auto interner = std::make_shared<ViewInterner>();
       for (int depth = 1; depth <= job.analysis.depth; ++depth) {
@@ -228,15 +267,17 @@ std::vector<JobOutcome> run_sweep(const SweepSpec& spec) {
         stats.strong_assignable = analysis.strong_assignable;
         stats.interner_views = interner->size();
         outcome.series.push_back(stats);
+        if (on_depth) on_depth(stats);
       }
     }
     outcome.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
-    if (spec.on_job_done) {
-      const std::lock_guard<std::mutex> lock(done_mutex);
-      spec.on_job_done(j, outcome);
+    if (hooks.on_job_done || spec.on_job_done) {
+      const std::lock_guard<std::mutex> lock(hook_mutex);
+      if (hooks.on_job_done) hooks.on_job_done(j, outcome);
+      if (spec.on_job_done) spec.on_job_done(j, outcome);
     }
   });
 
@@ -251,7 +292,14 @@ std::vector<JobOutcome> run_sweep(const SweepSpec& spec) {
       outcome.result.table->interner()->attach_to_current_thread();
     }
   }
+  return outcomes;
+}
 
+std::vector<JobOutcome> run_sweep(const SweepSpec& spec) {
+  const int threads =
+      spec.num_threads > 0 ? spec.num_threads : default_num_threads();
+  ThreadPool pool(threads);
+  std::vector<JobOutcome> outcomes = run_sweep_on(spec, pool);
   if (spec.record) {
     SweepRegistry::instance().record(spec.name, outcomes);
   }
@@ -309,6 +357,11 @@ void SweepRegistry::record(const std::string& name,
   for (const JobOutcome& outcome : outcomes) {
     records.push_back(summarize(outcome));
   }
+  record(name, std::move(records));
+}
+
+void SweepRegistry::record(const std::string& name,
+                           std::vector<JobRecord> records) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!enabled_) return;
   sweeps_.emplace_back(name, std::move(records));

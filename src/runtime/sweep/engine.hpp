@@ -8,13 +8,19 @@
 // thread count, so sweeps are reproducible artifacts: running with 1 or
 // 64 threads yields byte-identical JSON.
 //
-// The engine replaces the per-family driver loops that used to be
-// copy-pasted across bench/bench_*.cpp and the examples: a bench now
-// declares its grid, calls run_sweep, and renders its table from the
-// outcomes. Every run_sweep invocation also records its outcomes in a
-// process-global registry which the bench binaries serialize with
-// --sweep-json=PATH (thread count is set with --sweep-threads=N), giving
-// the bench trajectory a machine-readable format.
+// A SweepJob is PURE DATA -- a FamilyPoint plus solver options. There is
+// no factory closure anywhere in a spec: the engine constructs each job's
+// adversary inside the worker via make_family_adversary, so jobs share no
+// mutable state, any job list can be serialized (api/query.hpp is the
+// typed serialization surface), and a checkpoint can carry the full job
+// description instead of re-deriving it.
+//
+// This header is the execution layer. The operator-facing surface is the
+// api facade (src/api/): api::Session owns the pool and the outcome
+// history for its lifetime and runs api::Query values -- the typed
+// tagged-union view of SweepJob -- through run_sweep_on below. The free
+// functions run_sweep / solvability_job / series_job predate the facade
+// and remain as deprecated shims.
 #pragma once
 
 #include <cstdint>
@@ -33,12 +39,18 @@
 
 namespace topocon::sweep {
 
+class ThreadPool;
+
 enum class JobKind {
   /// Iterative-deepening solvability check (parallel_check_solvability).
   kSolvability,
   /// Depth-by-depth epsilon-approximation series for depths 1..max,
   /// continuing past separation (the E4/E6/E7 convergence curves).
   kDepthSeries,
+  /// Solvability check that additionally extracts the universal-algorithm
+  /// decision table (Theorem 5.5) and records its shape: total entries,
+  /// worst-case decision round, and the per-round entry counts.
+  kDecisionTable,
 };
 
 const char* to_string(JobKind kind);
@@ -46,14 +58,12 @@ const char* to_string(JobKind kind);
 std::optional<JobKind> parse_job_kind(std::string_view name);
 
 struct SweepJob {
-  std::string family;
-  std::string label;
-  int n = 2;
-  /// Factory invoked inside the worker; adversaries are built per job so
-  /// jobs share no mutable state.
-  std::function<std::unique_ptr<MessageAdversary>()> make;
+  /// Which adversary: the engine builds it per job inside the worker
+  /// (make_family_adversary), so jobs are pure, serializable data.
+  FamilyPoint point;
   JobKind kind = JobKind::kSolvability;
-  /// Solver options for kSolvability jobs.
+  /// Solver options for kSolvability and kDecisionTable jobs (the latter
+  /// forces build_table on).
   SolvabilityOptions solve;
   /// Per-depth options for kDepthSeries jobs; `analysis.depth` is the
   /// maximum depth of the series (the series stops early on truncation).
@@ -61,18 +71,22 @@ struct SweepJob {
 };
 
 /// A named grid point turned into a solvability job.
-SweepJob solvability_job(const FamilyPoint& point,
-                         const SolvabilityOptions& options = {});
+[[deprecated(
+    "use api::solvability() and api::Session (src/api/api.hpp)")]] SweepJob
+solvability_job(const FamilyPoint& point,
+                const SolvabilityOptions& options = {});
 
 /// A named grid point turned into a depth-series job.
-SweepJob series_job(const FamilyPoint& point, const AnalysisOptions& options);
+[[deprecated(
+    "use api::depth_series() and api::Session (src/api/api.hpp)")]] SweepJob
+series_job(const FamilyPoint& point, const AnalysisOptions& options);
 
 struct JobOutcome {
   std::string family;
   std::string label;
   int n = 2;
   JobKind kind = JobKind::kSolvability;
-  /// Filled for kSolvability jobs.
+  /// Filled for kSolvability and kDecisionTable jobs.
   SolvabilityResult result;
   /// Filled for kDepthSeries jobs: one entry per completed depth.
   std::vector<DepthStats> series;
@@ -85,7 +99,8 @@ struct SweepSpec {
   /// Name under which the outcomes are recorded (JSON "name" field).
   std::string name;
   std::vector<SweepJob> jobs;
-  /// 0 = default_num_threads().
+  /// 0 = default_num_threads(). Only read by run_sweep; run_sweep_on
+  /// executes on the pool it is handed.
   int num_threads = 0;
   /// Record outcomes in the global SweepRegistry (for --sweep-json).
   bool record = true;
@@ -93,13 +108,40 @@ struct SweepSpec {
   /// index into `jobs` and the finished outcome. Calls are serialized by
   /// an engine-internal mutex but arrive in completion order, which
   /// depends on the thread count -- checkpoint consumers must therefore
-  /// key on the job index, never on arrival order.
+  /// key on the job index, never on arrival order. Superseded by
+  /// SweepHooks::on_job_done (api::Observer); kept for compatibility and
+  /// honored by both entry points.
   std::function<void(std::size_t, const JobOutcome&)> on_job_done;
 };
 
-/// Runs all jobs of the spec. Outcomes are indexed like spec.jobs;
-/// interners inside the outcomes are re-homed to the calling thread.
-std::vector<JobOutcome> run_sweep(const SweepSpec& spec);
+/// Streaming hooks into a running sweep -- the engine-level form of
+/// api::Observer. All three are invoked under one engine-internal mutex
+/// (so implementations need no locking of their own) but in completion
+/// order: only on_depth calls of the SAME job are ordered relative to
+/// each other, and a job's on_job_done follows all its on_depth calls.
+/// Consumers must key on the job index, never on arrival order.
+struct SweepHooks {
+  std::function<void(std::size_t, const SweepJob&)> on_job_start;
+  std::function<void(std::size_t, const DepthStats&)> on_depth;
+  std::function<void(std::size_t, const JobOutcome&)> on_job_done;
+};
+
+/// Runs all jobs of the spec on an existing pool (spec.num_threads is
+/// ignored). Outcomes are indexed like spec.jobs; interners inside the
+/// outcomes are re-homed to the calling thread. Does NOT record into the
+/// global registry -- callers that retain outcomes do so themselves
+/// (api::Session records into its own history).
+std::vector<JobOutcome> run_sweep_on(const SweepSpec& spec, ThreadPool& pool,
+                                     const SweepHooks& hooks = {});
+
+/// Legacy one-shot driver: builds a private pool of spec.num_threads,
+/// runs the spec, and records into the global SweepRegistry when
+/// spec.record. Each call pays pool construction and teardown -- the
+/// facade's Session amortizes that across runs.
+[[deprecated(
+    "use api::Session::run (src/api/api.hpp); Session owns the pool across "
+    "runs")]] std::vector<JobOutcome>
+run_sweep(const SweepSpec& spec);
 
 /// Default thread count for SweepSpec.num_threads == 0 and for examples:
 /// set from --sweep-threads; 0 (the initial value) resolves to
@@ -138,6 +180,9 @@ struct JobRecord {
     friend bool operator==(const Table&, const Table&) = default;
   };
   std::optional<Table> table;
+  /// kDecisionTable only: entries becoming applicable per round (index =
+  /// round, sums to table->entries). Empty when no table was extracted.
+  std::vector<std::uint64_t> round_entries;
 
   /// Field-wise equality; with json_reader this makes "record -> JSON ->
   /// record" round-trips checkable.
@@ -169,6 +214,7 @@ class SweepRegistry {
   bool enabled() const;
 
   void record(const std::string& name, const std::vector<JobOutcome>& outcomes);
+  void record(const std::string& name, std::vector<JobRecord> records);
   bool empty() const;
   void clear();
 

@@ -158,6 +158,40 @@ const std::string& JsonValue::as_string() const {
   return string;
 }
 
+void write_json_value(JsonWriter& writer, const JsonValue& value) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNull:
+      throw std::runtime_error("json: cannot serialize null");
+    case JsonValue::Kind::kBool:
+      writer.value(value.boolean);
+      return;
+    case JsonValue::Kind::kInt:
+      writer.value(value.int_number);
+      return;
+    case JsonValue::Kind::kUint:
+      writer.value(value.uint_number);
+      return;
+    case JsonValue::Kind::kString:
+      writer.value(value.string);
+      return;
+    case JsonValue::Kind::kArray:
+      writer.begin_array();
+      for (const JsonValue& element : value.elements) {
+        write_json_value(writer, element);
+      }
+      writer.end_array();
+      return;
+    case JsonValue::Kind::kObject:
+      writer.begin_object();
+      for (const auto& [name, member] : value.members) {
+        writer.key(name);
+        write_json_value(writer, member);
+      }
+      writer.end_object();
+      return;
+  }
+}
+
 // ---- JsonReader ----------------------------------------------------------
 
 namespace {

@@ -104,6 +104,10 @@ struct JsonValue {
   bool is_object() const { return kind == Kind::kObject; }
   bool is_array() const { return kind == Kind::kArray; }
 
+  /// Structural equality (recursive; object member order matters, exactly
+  /// as it matters for the canonical serialization).
+  friend bool operator==(const JsonValue&, const JsonValue&) = default;
+
   /// Object member lookup; nullptr when absent or not an object.
   const JsonValue* find(std::string_view key) const;
   /// Object member lookup; throws std::runtime_error naming the key when
@@ -117,6 +121,14 @@ struct JsonValue {
   std::uint64_t as_uint() const;
   const std::string& as_string() const;
 };
+
+/// Re-emits a parsed JsonValue through a JsonWriter (members in stored
+/// order), making write(parse(doc)) reproduce doc byte for byte and --
+/// since the writer is canonical -- write(v) a fixed point of
+/// write(parse(.)) for any v. Used to embed opaque sub-documents (e.g.
+/// serialized api::Query descriptions in checkpoint headers) without the
+/// container layer knowing their schema.
+void write_json_value(JsonWriter& writer, const JsonValue& value);
 
 /// Parser for the deterministic JSON subset (the counterpart of
 /// JsonWriter). Throws std::runtime_error with a byte offset on malformed

@@ -191,9 +191,9 @@ DepthAnalysis parallel_analyze_depth(const MessageAdversary& adversary,
   return analysis;
 }
 
-SolvabilityResult parallel_check_solvability(const MessageAdversary& adversary,
-                                             const SolvabilityOptions& options,
-                                             ThreadPool& pool) {
+SolvabilityResult parallel_check_solvability(
+    const MessageAdversary& adversary, const SolvabilityOptions& options,
+    ThreadPool& pool, const DepthProgressFn& on_depth) {
   // Same iterative-deepening driver as the serial checker; only the
   // per-depth analysis is swapped for the sharded one.
   return check_solvability_with(
@@ -202,7 +202,8 @@ SolvabilityResult parallel_check_solvability(const MessageAdversary& adversary,
                           const std::shared_ptr<ViewInterner>& interner) {
         return parallel_analyze_depth(adversary, analysis_options, pool,
                                       interner);
-      });
+      },
+      on_depth);
 }
 
 }  // namespace topocon::sweep

@@ -44,9 +44,11 @@ DepthAnalysis parallel_analyze_depth(
 /// depth's expansion sharded over the pool. Same contract and same
 /// results as the serial checker. Interners inside the returned result
 /// are re-homed to the calling thread, so tables and analyses can be used
-/// directly by the caller.
-SolvabilityResult parallel_check_solvability(const MessageAdversary& adversary,
-                                             const SolvabilityOptions& options,
-                                             ThreadPool& pool);
+/// directly by the caller. `on_depth` streams each completed depth's
+/// statistics (see DepthProgressFn); it runs on the calling thread of
+/// this function and never changes the result.
+SolvabilityResult parallel_check_solvability(
+    const MessageAdversary& adversary, const SolvabilityOptions& options,
+    ThreadPool& pool, const DepthProgressFn& on_depth = {});
 
 }  // namespace topocon::sweep

@@ -1,5 +1,7 @@
 #include "scenario/render.hpp"
 
+#include <string_view>
+
 #include "analysis/report.hpp"
 
 namespace topocon::scenario {
@@ -32,6 +34,50 @@ void render_series(std::ostream& out, const JobRecord& record) {
   table.print(out);
 }
 
+void render_table_profile(std::ostream& out, const JobRecord& record) {
+  out << "\nDecision table " << record.family << " " << record.label
+      << " (n=" << record.n << "): ";
+  if (!record.table.has_value()) {
+    out << "no certificate (" << record.verdict << ")\n";
+    return;
+  }
+  out << record.table->entries << " entries, worst decision round "
+      << record.table->worst_decision_round << "\n";
+  Table table({"round", "new entries"});
+  table.align_right(0);
+  table.align_right(1);
+  for (std::size_t round = 0; round < record.round_entries.size(); ++round) {
+    table.add_row({std::to_string(round),
+                   std::to_string(record.round_entries[round])});
+  }
+  table.print(out);
+}
+
+/// RFC 4180 field quoting: quote when the field contains a comma, quote,
+/// or newline; inner quotes double.
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void csv_row(std::ostream& out, const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out << ',';
+    out << csv_escape(fields[i]);
+  }
+  out << '\n';
+}
+
+std::string csv_bool(bool flag) { return flag ? "1" : "0"; }
+
 }  // namespace
 
 void render_records(std::ostream& out, const std::string& sweep_name,
@@ -46,13 +92,13 @@ void render_records(std::ostream& out, const std::string& sweep_name,
   for (std::size_t i = 0; i < records.size(); ++i) {
     const JobRecord& record = records[i];
     const DepthStats* stats = last_stats(record);
-    const bool solvability = record.kind == JobKind::kSolvability;
-    std::string verdict = solvability ? record.verdict : "-";
-    if (solvability && record.closure_only) verdict += " (closure)";
+    const bool has_verdict = record.kind != JobKind::kDepthSeries;
+    std::string verdict = has_verdict ? record.verdict : "-";
+    if (has_verdict && record.closure_only) verdict += " (closure)";
     table.add_row(
         {std::to_string(i), record.family, record.label,
          std::to_string(record.n), to_string(record.kind), verdict,
-         solvability && record.certified_depth >= 0
+         has_verdict && record.certified_depth >= 0
              ? std::to_string(record.certified_depth)
              : "-",
          stats != nullptr ? std::to_string(stats->num_leaf_classes) : "-",
@@ -64,6 +110,74 @@ void render_records(std::ostream& out, const std::string& sweep_name,
   table.print(out);
   for (const JobRecord& record : records) {
     if (record.kind == JobKind::kDepthSeries) render_series(out, record);
+    if (record.kind == JobKind::kDecisionTable) {
+      render_table_profile(out, record);
+    }
+  }
+}
+
+void render_records_csv(std::ostream& out, const std::string& sweep_name,
+                        const std::vector<JobRecord>& records) {
+  csv_row(out,
+          {"sweep", "job", "family", "label", "n", "kind", "depth",
+           "leaf_classes", "components", "merged", "separated",
+           "valent_broadcastable", "strong_assignable", "interner_views",
+           "verdict", "certified_depth", "table_entries",
+           "worst_decision_round"});
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const JobRecord& record = records[i];
+    const std::string job = std::to_string(i);
+    const std::string n = std::to_string(record.n);
+    const std::string kind = to_string(record.kind);
+    const bool has_verdict = record.kind != JobKind::kDepthSeries;
+    const std::string verdict = has_verdict ? record.verdict : "";
+    const std::string certified_depth =
+        has_verdict && record.certified_depth >= 0
+            ? std::to_string(record.certified_depth)
+            : "";
+    const std::string worst_round =
+        record.table.has_value()
+            ? std::to_string(record.table->worst_decision_round)
+            : "";
+    if (record.kind == JobKind::kDecisionTable) {
+      // One row per decision round: the early-decision profile. A job
+      // without a certificate still gets one row so its verdict is not
+      // lost from the artifact.
+      if (record.round_entries.empty()) {
+        csv_row(out, {sweep_name, job, record.family, record.label, n, kind,
+                      "", "", "", "", "", "", "", "", verdict,
+                      certified_depth, "", worst_round});
+        continue;
+      }
+      for (std::size_t round = 0; round < record.round_entries.size();
+           ++round) {
+        csv_row(out, {sweep_name, job, record.family, record.label, n, kind,
+                      std::to_string(round), "", "", "", "", "", "", "",
+                      verdict, certified_depth,
+                      std::to_string(record.round_entries[round]),
+                      worst_round});
+      }
+      continue;
+    }
+    const std::string table_entries =
+        record.table.has_value() ? std::to_string(record.table->entries)
+                                 : "";
+    const std::vector<DepthStats>& stats =
+        record.kind == JobKind::kSolvability ? record.per_depth
+                                             : record.series;
+    for (const DepthStats& depth_stats : stats) {
+      csv_row(out,
+              {sweep_name, job, record.family, record.label, n, kind,
+               std::to_string(depth_stats.depth),
+               std::to_string(depth_stats.num_leaf_classes),
+               std::to_string(depth_stats.num_components),
+               std::to_string(depth_stats.merged_components),
+               csv_bool(depth_stats.separated),
+               csv_bool(depth_stats.valent_broadcastable),
+               csv_bool(depth_stats.strong_assignable),
+               std::to_string(depth_stats.interner_views), verdict,
+               certified_depth, table_entries, worst_round});
+    }
   }
 }
 

@@ -1,7 +1,7 @@
-// Human-readable rendering of sweep records -- the CLI's report surface.
-// Works off JobRecords (the JSON-visible projection of outcomes), so the
-// exact same rendering applies to freshly-run sweeps and to documents
-// loaded back from disk by the JsonReader.
+// Human- and machine-readable rendering of sweep records -- the CLI's
+// report surface. Works off JobRecords (the JSON-visible projection of
+// outcomes), so the exact same rendering applies to freshly-run sweeps
+// and to documents loaded back from disk by the JsonReader.
 #pragma once
 
 #include <ostream>
@@ -13,8 +13,20 @@
 namespace topocon::scenario {
 
 /// Prints a summary table of all records, then one convergence table per
-/// depth-series record.
+/// depth-series record and one decision-profile table per decision-table
+/// record.
 void render_records(std::ostream& out, const std::string& sweep_name,
                     const std::vector<sweep::JobRecord>& records);
+
+/// CSV rendering (`topocon run --format=csv`), built for plotting the
+/// E4/E6/E7 convergence curves: a fixed header line, then one row per
+/// per-depth statistic of each record (solvability deepening steps and
+/// series entries alike), and one row per decision round for
+/// decision-table records (depth = round, table_entries = entries
+/// becoming applicable that round). Booleans render as 1/0, absent
+/// values as empty cells; fields containing separators are quoted per
+/// RFC 4180. Deterministic byte-for-byte, like the JSON artifacts.
+void render_records_csv(std::ostream& out, const std::string& sweep_name,
+                        const std::vector<sweep::JobRecord>& records);
 
 }  // namespace topocon::scenario

@@ -10,7 +10,7 @@ namespace topocon::scenario {
 
 namespace {
 
-using sweep::SweepSpec;
+using api::Query;
 
 /// Applies --param-min/--param-max on top of a default interval, clamped
 /// nowhere: leaving the family's valid range is reported by family_grid.
@@ -20,34 +20,34 @@ std::pair<int, int> override_range(const GridOverrides& overrides,
           overrides.param_max.value_or(default_max)};
 }
 
-SweepSpec build_omission(const GridOverrides& overrides) {
+std::vector<Query> build_omission(const GridOverrides& overrides) {
   const int n = overrides.n.value_or(3);
   const FamilyParamRange range = family_param_range("omission", n);
   const auto [f_min, f_max] = override_range(overrides, range.min, range.max);
-  SweepSpec spec;
+  std::vector<Query> queries;
   SolvabilityOptions options;
   options.max_depth = n == 2 ? 6 : 3;
   options.max_states = 6'000'000;
   for (const FamilyPoint& point : family_grid("omission", n, f_min, f_max)) {
-    spec.jobs.push_back(sweep::solvability_job(point, options));
+    queries.push_back(api::solvability(point, options));
   }
-  return spec;
+  return queries;
 }
 
-SweepSpec build_lossy_link_atlas(const GridOverrides& overrides) {
+std::vector<Query> build_lossy_link_atlas(const GridOverrides& overrides) {
   const auto [mask_min, mask_max] = override_range(overrides, 1, 7);
-  SweepSpec spec;
+  std::vector<Query> queries;
   SolvabilityOptions options;
   options.max_depth = 6;
   for (const FamilyPoint& point :
        family_grid("lossy_link", 2, mask_min, mask_max)) {
-    spec.jobs.push_back(sweep::solvability_job(point, options));
+    queries.push_back(api::solvability(point, options));
   }
-  return spec;
+  return queries;
 }
 
-SweepSpec build_heard_of_grid(const GridOverrides& overrides) {
-  SweepSpec spec;
+std::vector<Query> build_heard_of_grid(const GridOverrides& overrides) {
+  std::vector<Query> queries;
   const std::vector<int> ns =
       overrides.n.has_value() ? std::vector<int>{*overrides.n}
                               : std::vector<int>{2, 3};
@@ -74,41 +74,61 @@ SweepSpec build_heard_of_grid(const GridOverrides& overrides) {
     options.max_depth = n == 2 ? 5 : 2;
     options.max_states = 6'000'000;
     for (const FamilyPoint& point : family_grid("heard_of", n, lo, hi)) {
-      spec.jobs.push_back(sweep::solvability_job(point, options));
+      queries.push_back(api::solvability(point, options));
     }
   }
-  return spec;
+  return queries;
 }
 
-SweepSpec build_vssc_windows(const GridOverrides& overrides) {
+std::vector<Query> build_vssc_windows(const GridOverrides& overrides) {
   const int n = overrides.n.value_or(2);
   const auto [k_min, k_max] = override_range(overrides, 1, 3);
-  SweepSpec spec;
+  std::vector<Query> queries;
   SolvabilityOptions options;
   options.max_depth = 3;
   options.max_states = 4'000'000;
   options.build_table = false;
   for (const FamilyPoint& point : family_grid("vssc", n, k_min, k_max)) {
-    spec.jobs.push_back(sweep::solvability_job(point, options));
+    queries.push_back(api::solvability(point, options));
   }
-  return spec;
+  return queries;
 }
 
-SweepSpec build_convergence_curves(const GridOverrides&) {
-  SweepSpec spec;
+std::vector<Query> build_convergence_curves(const GridOverrides&) {
+  std::vector<Query> queries;
   AnalysisOptions lossy;
   lossy.depth = 6;
   for (const int mask : {0b011, 0b101, 0b111}) {
-    spec.jobs.push_back(sweep::series_job({"lossy_link", 2, mask}, lossy));
+    queries.push_back(api::depth_series({"lossy_link", 2, mask}, lossy));
   }
   AnalysisOptions omission;
   omission.depth = 3;
   omission.max_states = 6'000'000;
-  spec.jobs.push_back(sweep::series_job({"omission", 3, 1}, omission));
+  queries.push_back(api::depth_series({"omission", 3, 1}, omission));
   AnalysisOptions finite_loss;
   finite_loss.depth = 4;
-  spec.jobs.push_back(sweep::series_job({"finite_loss", 2, 0}, finite_loss));
-  return spec;
+  queries.push_back(api::depth_series({"finite_loss", 2, 0}, finite_loss));
+  return queries;
+}
+
+std::vector<Query> build_decision_tables(const GridOverrides& overrides) {
+  // One extraction per solvable n=2 lossy-link subset (mask interval
+  // overridable), plus the w=2 windowed certificate. Mask 7 is the
+  // impossible full set: kept in the default grid as the "no table"
+  // row -- extraction reports the NOT-SEPARATED verdict and no shape.
+  const auto [mask_min, mask_max] = override_range(overrides, 1, 7);
+  std::vector<Query> queries;
+  SolvabilityOptions options;
+  options.max_depth = 6;
+  for (const FamilyPoint& point :
+       family_grid("lossy_link", 2, mask_min, mask_max)) {
+    queries.push_back(api::decision_table(point, options));
+  }
+  SolvabilityOptions windowed;
+  windowed.max_depth = 4;
+  queries.push_back(
+      api::decision_table({"windowed_lossy_link", 2, 2}, windowed));
+  return queries;
 }
 
 std::vector<Scenario> make_catalog() {
@@ -159,6 +179,18 @@ std::vector<Scenario> make_catalog() {
       "permanently merged). Fixed grid; no overrides.",
       /*supports_n=*/false, /*supports_param_range=*/false,
       build_convergence_curves});
+  scenarios.push_back(Scenario{
+      "decision-tables",
+      "Universal-algorithm extraction (Theorem 5.5) for the n=2 atlas",
+      "Decision-table extraction queries: for every lossy-link subset at\n"
+      "n=2 plus the w=2 windowed lossy link, run the solvability pipeline\n"
+      "and record the certificate's shape -- total entries, worst-case\n"
+      "decision round, and entries per round (the integer early-decision\n"
+      "profile of Theorem 5.5). The impossible full subset documents the\n"
+      "no-certificate case. --param-min/--param-max restrict the\n"
+      "lossy-link mask interval (valid: 1..7).",
+      /*supports_n=*/false, /*supports_param_range=*/true,
+      build_decision_tables});
   return scenarios;
 }
 
@@ -176,8 +208,8 @@ const Scenario* find_scenario(std::string_view name) {
   return nullptr;
 }
 
-sweep::SweepSpec expand_scenario(const Scenario& scenario,
-                                 const GridOverrides& overrides) {
+api::Plan expand_scenario(const Scenario& scenario,
+                          const GridOverrides& overrides) {
   if (overrides.n.has_value() && !scenario.supports_n) {
     throw std::invalid_argument(scenario.name +
                                 " does not support the --n override");
@@ -187,10 +219,10 @@ sweep::SweepSpec expand_scenario(const Scenario& scenario,
     throw std::invalid_argument(
         scenario.name + " does not support --param-min/--param-max");
   }
-  sweep::SweepSpec spec = scenario.build(overrides);
-  spec.name = scenario.name;
-  spec.record = false;
-  return spec;
+  api::Plan plan;
+  plan.name = scenario.name;
+  plan.queries = scenario.build(overrides);
+  return plan;
 }
 
 }  // namespace topocon::scenario

@@ -1,11 +1,13 @@
-// Named, self-describing scenarios: the catalog that turns the sweep
-// engine into an operator-facing product surface (tools/topocon).
+// Named, self-describing scenarios: the catalog that turns the api
+// facade into an operator-facing product surface (tools/topocon).
 //
-// A Scenario expands a FamilyPoint grid into a SweepSpec. Everything an
+// A Scenario expands a FamilyPoint grid into an api::Plan -- a named
+// list of api::Query values, pure data end to end. Everything an
 // operator can run from the CLI lives here as data -- name, summary,
 // description, which grid overrides it accepts -- so `topocon list`,
 // `topocon describe`, and future workloads all read one registry instead
-// of hand-rolled driver loops (ROADMAP: "scenarios as SweepSpecs").
+// of hand-rolled driver loops (ROADMAP: "scenarios as SweepSpecs", now
+// "scenarios as query plans").
 #pragma once
 
 #include <functional>
@@ -14,7 +16,7 @@
 #include <string_view>
 #include <vector>
 
-#include "runtime/sweep/engine.hpp"
+#include "api/api.hpp"
 
 namespace topocon::scenario {
 
@@ -39,10 +41,9 @@ struct Scenario {
   /// Which overrides expand_scenario accepts for this scenario.
   bool supports_n = false;
   bool supports_param_range = false;
-  /// Expands the (possibly overridden) grid into a runnable spec. The
-  /// spec comes back with record = false -- the CLI serializes outcomes
-  /// itself -- and its name set to the scenario name.
-  std::function<sweep::SweepSpec(const GridOverrides&)> build;
+  /// Expands the (possibly overridden) grid into the query list; the
+  /// plan name is filled in by expand_scenario.
+  std::function<std::vector<api::Query>(const GridOverrides&)> build;
 };
 
 /// All registered scenarios, in catalog order; names are unique.
@@ -52,9 +53,9 @@ const std::vector<Scenario>& catalog();
 const Scenario* find_scenario(std::string_view name);
 
 /// Validates the overrides against the scenario's capabilities, then
-/// builds the spec. Throws std::invalid_argument on unsupported or
-/// out-of-range overrides.
-sweep::SweepSpec expand_scenario(const Scenario& scenario,
-                                 const GridOverrides& overrides);
+/// builds the plan (named after the scenario). Throws
+/// std::invalid_argument on unsupported or out-of-range overrides.
+api::Plan expand_scenario(const Scenario& scenario,
+                          const GridOverrides& overrides);
 
 }  // namespace topocon::scenario

@@ -9,9 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include "api/api.hpp"
 #include "core/solvability.hpp"
 #include "runtime/sweep/checkpoint.hpp"
-#include "runtime/sweep/engine.hpp"
 #include "runtime/sweep/json.hpp"
 
 namespace topocon {
@@ -109,24 +109,23 @@ TEST(JsonReaderTest, RejectsMalformedInput) {
 
 // ---- JobRecord round-trips ----------------------------------------------
 
-/// A small sweep with one job of each kind; solvable lossy-link points
+/// A small sweep with jobs of every kind; solvable lossy-link points
 /// exercise final_analysis + table, the full mask exercises the merged
-/// path, and the series job exercises the kDepthSeries encoding.
+/// path, the series job exercises the kDepthSeries encoding, and the
+/// extraction job the kDecisionTable encoding (round_entries).
 std::vector<JobOutcome> run_mixed_sweep() {
-  SweepSpec spec;
-  spec.name = "roundtrip";
-  spec.record = false;
-  spec.num_threads = 2;
+  api::Session session({.num_threads = 2, .record_global = false});
+  std::vector<api::Query> queries;
   SolvabilityOptions options;
   options.max_depth = 5;
   for (const int mask : {1, 3, 7}) {
-    spec.jobs.push_back(
-        sweep::solvability_job({"lossy_link", 2, mask}, options));
+    queries.push_back(api::solvability({"lossy_link", 2, mask}, options));
   }
   AnalysisOptions series;
   series.depth = 3;
-  spec.jobs.push_back(sweep::series_job({"lossy_link", 2, 7}, series));
-  return sweep::run_sweep(spec);
+  queries.push_back(api::depth_series({"lossy_link", 2, 7}, series));
+  queries.push_back(api::decision_table({"lossy_link", 2, 3}, options));
+  return session.run("roundtrip", queries);
 }
 
 std::string record_json(const JobRecord& record, JsonStyle style) {
@@ -138,13 +137,16 @@ std::string record_json(const JobRecord& record, JsonStyle style) {
 
 TEST(SweepJsonRoundTrip, EveryJobKindParsesBackToAnEqualRecord) {
   const std::vector<JobOutcome> outcomes = run_mixed_sweep();
-  ASSERT_EQ(outcomes.size(), 4u);
+  ASSERT_EQ(outcomes.size(), 5u);
   bool saw_table = false;
   bool saw_series = false;
+  bool saw_extraction = false;
   for (const JobOutcome& outcome : outcomes) {
     const JobRecord record = sweep::summarize(outcome);
     saw_table |= record.table.has_value();
     saw_series |= record.kind == sweep::JobKind::kDepthSeries;
+    saw_extraction |= record.kind == sweep::JobKind::kDecisionTable &&
+                      !record.round_entries.empty();
     for (const JsonStyle style : {JsonStyle::kPretty, JsonStyle::kCompact}) {
       const JobRecord reparsed = sweep::job_record_from_json(
           JsonReader::parse(record_json(record, style)));
@@ -153,6 +155,7 @@ TEST(SweepJsonRoundTrip, EveryJobKindParsesBackToAnEqualRecord) {
   }
   EXPECT_TRUE(saw_table);
   EXPECT_TRUE(saw_series);
+  EXPECT_TRUE(saw_extraction);
 }
 
 TEST(SweepJsonRoundTrip, FullDocumentParsesBack) {

@@ -11,8 +11,8 @@
 
 #include "adversary/family.hpp"
 #include "analysis/oracles.hpp"
+#include "api/api.hpp"
 #include "core/solvability.hpp"
-#include "runtime/sweep/engine.hpp"
 
 namespace topocon {
 namespace {
@@ -33,14 +33,13 @@ void check_rows(const std::vector<PinnedRow>& rows,
     EXPECT_EQ(result.certified_depth, row.certified_depth)
         << family_point_label(row.point);
   }
-  // Parallel engine, all rows as one sweep.
-  sweep::SweepSpec spec;
-  spec.name = "oracle-regression";
-  spec.record = false;
+  // Parallel engine, all rows as one sweep through the api facade.
+  api::Session session({.record_global = false});
+  std::vector<api::Query> queries;
   for (const PinnedRow& row : rows) {
-    spec.jobs.push_back(sweep::solvability_job(row.point, options));
+    queries.push_back(api::solvability(row.point, options));
   }
-  const auto outcomes = sweep::run_sweep(spec);
+  const auto outcomes = session.run("oracle-regression", queries);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     EXPECT_EQ(outcomes[i].result.verdict, rows[i].verdict)
         << outcomes[i].label;

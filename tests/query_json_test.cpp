@@ -1,0 +1,164 @@
+// api::Query JSON round-trips (satellite of the Session/Query redesign):
+// serialize -> parse -> serialize is a fixed point for every variant, the
+// canonical encoding is stable across writer styles, and malformed input
+// fails with EXACT error messages -- checkpoints carry serialized queries,
+// so a resume diagnosing a corrupt file must say precisely what is wrong.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "api/query.hpp"
+#include "runtime/sweep/json.hpp"
+
+namespace topocon {
+namespace {
+
+using api::Query;
+
+void expect_parse_error(const std::string& text, const std::string& message) {
+  try {
+    api::parse_query(text);
+    FAIL() << "expected parse of `" << text << "` to throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_EQ(std::string(error.what()), message) << text;
+  }
+}
+
+void expect_fixed_point(const Query& query) {
+  const std::string once = api::query_to_string(query);
+  const Query reparsed = api::parse_query(once);
+  EXPECT_EQ(api::query_to_string(reparsed), once);
+}
+
+TEST(QueryJson, SerializeParseSerializeIsAFixedPointForEveryVariant) {
+  SolvabilityOptions solve;
+  solve.max_depth = 4;
+  solve.max_states = 123'456;
+  solve.build_table = false;
+  solve.require_broadcastable = true;
+  solve.strong_validity = true;
+  expect_fixed_point(api::solvability({"omission", 3, 2}, solve));
+  expect_fixed_point(api::solvability({"lossy_link", 2, 0b101}));
+
+  AnalysisOptions series;
+  series.depth = 7;
+  series.num_values = 2;
+  series.max_states = 999;
+  expect_fixed_point(api::depth_series({"lossy_link", 2, 7}, series));
+  AnalysisOptions pview = series;
+  pview.topology = AdjacencyTopology::kPView;
+  pview.pview_set = 0b11;
+  expect_fixed_point(api::depth_series({"lossy_link", 2, 7}, pview));
+
+  expect_fixed_point(api::decision_table({"windowed_lossy_link", 2, 2}));
+}
+
+TEST(QueryJson, CanonicalEncodingIsStable) {
+  SolvabilityOptions solve;
+  solve.max_depth = 3;
+  solve.max_states = 6'000'000;
+  const Query query = api::solvability({"omission", 3, 1}, solve);
+  EXPECT_EQ(api::query_to_string(query),
+            "{\"query\":\"solvability\",\"family\":\"omission\",\"n\":3,"
+            "\"param\":1,\"max_depth\":3,\"num_values\":2,"
+            "\"max_states\":6000000,\"build_table\":true,"
+            "\"require_broadcastable\":false,\"strong_validity\":false}");
+}
+
+TEST(QueryJson, RoundTripPreservesSemantics) {
+  AnalysisOptions series;
+  series.depth = 5;
+  series.topology = AdjacencyTopology::kPView;
+  series.pview_set = 0b10;
+  const Query query = api::depth_series({"lossy_link", 2, 3}, series);
+  const Query reparsed = api::parse_query(api::query_to_string(query));
+  ASSERT_EQ(api::kind_of(reparsed), api::QueryKind::kDepthSeries);
+  const auto& options = std::get<api::DepthSeriesQuery>(reparsed).options;
+  EXPECT_EQ(options.depth, 5);
+  EXPECT_EQ(options.topology, AdjacencyTopology::kPView);
+  EXPECT_EQ(options.pview_set, 0b10u);
+  EXPECT_EQ(api::point_of(reparsed).family, "lossy_link");
+  EXPECT_EQ(api::point_of(reparsed).param, 3);
+
+  // decision_table implies build_table regardless of the flag's absence.
+  const Query extraction =
+      api::parse_query(api::query_to_string(api::decision_table(
+          {"lossy_link", 2, 1})));
+  EXPECT_TRUE(std::get<api::DecisionTableQuery>(extraction)
+                  .options.build_table);
+}
+
+TEST(QueryJson, ExactErrorMessages) {
+  expect_parse_error("[]", "query json: expected an object");
+  expect_parse_error("{}", "query json: missing member \"query\"");
+  expect_parse_error("{\"query\":7}",
+                     "query json: member \"query\" must be a string");
+  expect_parse_error("{\"query\":\"mystery\"}",
+                     "query json: unknown query kind \"mystery\"");
+  expect_parse_error("{\"query\":\"solvability\"}",
+                     "query json: missing member \"family\"");
+  expect_parse_error(
+      "{\"query\":\"solvability\",\"family\":\"omission\",\"n\":\"x\"}",
+      "query json: member \"n\" must be an integer");
+  expect_parse_error(
+      "{\"query\":\"solvability\",\"family\":\"nope\",\"n\":2,\"param\":0,"
+      "\"max_depth\":3,\"num_values\":2,\"max_states\":10,"
+      "\"build_table\":true,\"require_broadcastable\":false,"
+      "\"strong_validity\":false}",
+      "query json: unknown adversary family: nope");
+  expect_parse_error(
+      "{\"query\":\"solvability\",\"family\":\"lossy_link\",\"n\":3,"
+      "\"param\":1,\"max_depth\":3,\"num_values\":2,\"max_states\":10,"
+      "\"build_table\":true,\"require_broadcastable\":false,"
+      "\"strong_validity\":false}",
+      "query json: lossy_link: n must be 2 (got 3)");
+  expect_parse_error(
+      "{\"query\":\"solvability\",\"family\":\"omission\",\"n\":3,"
+      "\"param\":1,\"max_depth\":3,\"num_values\":2,\"max_states\":-4,"
+      "\"build_table\":true,\"require_broadcastable\":false,"
+      "\"strong_validity\":false}",
+      "query json: member \"max_states\" must be a non-negative integer");
+  expect_parse_error(
+      "{\"query\":\"solvability\",\"family\":\"omission\",\"n\":3,"
+      "\"param\":1,\"max_depth\":3,\"num_values\":2,\"max_states\":10,"
+      "\"build_table\":1,\"require_broadcastable\":false,"
+      "\"strong_validity\":false}",
+      "query json: member \"build_table\" must be a boolean");
+  expect_parse_error(
+      "{\"query\":\"solvability\",\"family\":\"omission\",\"n\":3,"
+      "\"param\":1,\"max_depth\":3,\"num_values\":2,\"max_states\":10,"
+      "\"build_table\":true,\"require_broadcastable\":false,"
+      "\"strong_validity\":false,\"extra\":1}",
+      "query json: unknown member \"extra\"");
+  expect_parse_error(
+      "{\"query\":\"depth_series\",\"family\":\"lossy_link\",\"n\":2,"
+      "\"param\":7,\"depth\":3,\"num_values\":2,\"max_states\":10,"
+      "\"topology\":\"weird\",\"pview_set\":0}",
+      "query json: unknown topology \"weird\"");
+  expect_parse_error(
+      "{\"query\":\"depth_series\",\"family\":\"lossy_link\",\"n\":2,"
+      "\"param\":7,\"depth\":3,\"num_values\":2,\"max_states\":10,"
+      "\"topology\":\"min\",\"pview_set\":4294967296}",
+      "query json: member \"pview_set\" is out of range");
+  // The series encoding does not accept solvability members and vice
+  // versa -- the kinds stay disjoint on the wire.
+  expect_parse_error(
+      "{\"query\":\"depth_series\",\"family\":\"lossy_link\",\"n\":2,"
+      "\"param\":7,\"max_depth\":3,\"num_values\":2,\"max_states\":10,"
+      "\"topology\":\"min\",\"pview_set\":0}",
+      "query json: unknown member \"max_depth\"");
+}
+
+TEST(QueryJson, AcceptsMembersInAnyOrder) {
+  const Query query = api::parse_query(
+      "{\"family\":\"omission\",\"param\":1,\"n\":3,"
+      "\"query\":\"solvability\",\"strong_validity\":false,"
+      "\"max_depth\":3,\"num_values\":2,\"max_states\":10,"
+      "\"build_table\":true,\"require_broadcastable\":false}");
+  EXPECT_EQ(api::kind_of(query), api::QueryKind::kSolvability);
+  // Re-serialization restores the canonical member order.
+  EXPECT_EQ(api::query_to_string(query).substr(0, 9), "{\"query\":");
+}
+
+}  // namespace
+}  // namespace topocon

@@ -1,22 +1,24 @@
 // The scenario catalog: registry invariants, grid override handling, and
 // the record-merge semantics resume is built on (completed records from a
 // checkpoint + freshly-run pending jobs == an uninterrupted run).
+#include <algorithm>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
 
+#include "api/api.hpp"
 #include "scenario/render.hpp"
 #include "scenario/scenario.hpp"
 
 namespace topocon {
 namespace {
 
+using api::Plan;
 using scenario::GridOverrides;
 using scenario::Scenario;
 using sweep::JobRecord;
-using sweep::SweepSpec;
 
 TEST(ScenarioCatalog, NamesAreUniqueAndFindable) {
   std::set<std::string> names;
@@ -33,16 +35,19 @@ TEST(ScenarioCatalog, NamesAreUniqueAndFindable) {
 
 TEST(ScenarioCatalog, EveryScenarioExpandsToABuildableGrid) {
   for (const Scenario& s : scenario::catalog()) {
-    const SweepSpec spec = scenario::expand_scenario(s, {});
-    EXPECT_EQ(spec.name, s.name);
-    EXPECT_FALSE(spec.record);
-    ASSERT_FALSE(spec.jobs.empty()) << s.name;
-    for (const sweep::SweepJob& job : spec.jobs) {
-      EXPECT_FALSE(job.label.empty()) << s.name;
-      // The factory must construct without running anything heavy.
-      const auto adversary = job.make();
-      EXPECT_EQ(adversary->num_processes(), job.n)
-          << s.name << " " << job.label;
+    const Plan plan = scenario::expand_scenario(s, {});
+    EXPECT_EQ(plan.name, s.name);
+    ASSERT_FALSE(plan.queries.empty()) << s.name;
+    for (const api::Query& query : plan.queries) {
+      EXPECT_FALSE(api::label_of(query).empty()) << s.name;
+      // Every grid point must construct without running anything heavy.
+      const auto adversary = make_family_adversary(api::point_of(query));
+      EXPECT_EQ(adversary->num_processes(), api::point_of(query).n)
+          << s.name << " " << api::label_of(query);
+      // ... and survive the JSON round trip checkpoints rely on.
+      const api::Query reparsed =
+          api::parse_query(api::query_to_string(query));
+      EXPECT_EQ(api::query_to_string(reparsed), api::query_to_string(query));
     }
   }
 }
@@ -50,19 +55,19 @@ TEST(ScenarioCatalog, EveryScenarioExpandsToABuildableGrid) {
 TEST(ScenarioOverrides, OmissionGridRespondsToNAndParamRange) {
   const Scenario* s = scenario::find_scenario("omission-n3");
   ASSERT_NE(s, nullptr);
-  EXPECT_EQ(scenario::expand_scenario(*s, {}).jobs.size(), 7u);  // f=0..6
+  EXPECT_EQ(scenario::expand_scenario(*s, {}).queries.size(), 7u);  // f=0..6
 
   GridOverrides n2;
   n2.n = 2;
-  EXPECT_EQ(scenario::expand_scenario(*s, n2).jobs.size(), 3u);  // f=0..2
+  EXPECT_EQ(scenario::expand_scenario(*s, n2).queries.size(), 3u);  // f=0..2
 
   GridOverrides window;
   window.param_min = 1;
   window.param_max = 2;
-  const SweepSpec spec = scenario::expand_scenario(*s, window);
-  ASSERT_EQ(spec.jobs.size(), 2u);
-  EXPECT_EQ(spec.jobs[0].label, "n=3 f=1");
-  EXPECT_EQ(spec.jobs[1].label, "n=3 f=2");
+  const Plan plan = scenario::expand_scenario(*s, window);
+  ASSERT_EQ(plan.queries.size(), 2u);
+  EXPECT_EQ(api::label_of(plan.queries[0]), "n=3 f=1");
+  EXPECT_EQ(api::label_of(plan.queries[1]), "n=3 f=2");
 }
 
 TEST(ScenarioOverrides, HeardOfGridSkipsLegsWhoseIntervalEmpties) {
@@ -71,9 +76,9 @@ TEST(ScenarioOverrides, HeardOfGridSkipsLegsWhoseIntervalEmpties) {
   // k=3 only exists on the n=3 leg; the n=2 leg is skipped, not an error.
   GridOverrides k3;
   k3.param_min = 3;
-  const SweepSpec spec = scenario::expand_scenario(*grid, k3);
-  ASSERT_EQ(spec.jobs.size(), 1u);
-  EXPECT_EQ(spec.jobs[0].label, "n=3 k=3");
+  const Plan plan = scenario::expand_scenario(*grid, k3);
+  ASSERT_EQ(plan.queries.size(), 1u);
+  EXPECT_EQ(api::label_of(plan.queries[0]), "n=3 k=3");
   // Beyond every leg's range is still an error.
   GridOverrides k9;
   k9.param_min = 9;
@@ -115,26 +120,19 @@ TEST(ScenarioResumeMerge, PendingJobsPlusCheckpointEqualsFullRun) {
   ASSERT_NE(atlas, nullptr);
   GridOverrides small;
   small.param_max = 3;
-  SweepSpec full = scenario::expand_scenario(*atlas, small);
-  full.num_threads = 2;
-  ASSERT_EQ(full.jobs.size(), 3u);
+  const Plan full = scenario::expand_scenario(*atlas, small);
+  ASSERT_EQ(full.queries.size(), 3u);
+  api::Session session({.num_threads = 2, .record_global = false});
   std::vector<JobRecord> expected;
-  for (const sweep::JobOutcome& outcome : sweep::run_sweep(full)) {
+  for (const sweep::JobOutcome& outcome : session.run(full)) {
     expected.push_back(sweep::summarize(outcome));
   }
 
   // "Checkpoint" holds job 1; jobs 0 and 2 are pending.
-  SweepSpec pending = scenario::expand_scenario(*atlas, small);
-  pending.num_threads = 2;
   std::vector<JobRecord> merged(3);
   merged[1] = expected[1];
-  SweepSpec rest;
-  rest.name = pending.name;
-  rest.record = false;
-  rest.num_threads = pending.num_threads;
-  rest.jobs.push_back(std::move(pending.jobs[0]));
-  rest.jobs.push_back(std::move(pending.jobs[2]));
-  const std::vector<sweep::JobOutcome> outcomes = sweep::run_sweep(rest);
+  const std::vector<sweep::JobOutcome> outcomes = session.run(
+      full.name, {full.queries[0], full.queries[2]});
   merged[0] = sweep::summarize(outcomes[0]);
   merged[2] = sweep::summarize(outcomes[1]);
   EXPECT_EQ(merged, expected);
@@ -171,6 +169,53 @@ TEST(ScenarioRender, RendersSolvabilityAndSeriesRecords) {
   EXPECT_NE(text.find("SOLVABLE"), std::string::npos);
   EXPECT_NE(text.find("12 entries"), std::string::npos);
   EXPECT_NE(text.find("Convergence finite_loss n=2"), std::string::npos);
+}
+
+TEST(ScenarioRender, CsvKeepsEveryJobIncludingCertificatelessExtractions) {
+  JobRecord series;
+  series.family = "lossy_link";
+  series.label = "{<-, ->}";  // comma in the label forces RFC 4180 quoting
+  series.n = 2;
+  series.kind = sweep::JobKind::kDepthSeries;
+  DepthStats stats;
+  stats.depth = 1;
+  stats.num_leaf_classes = 8;
+  stats.num_components = 4;
+  stats.separated = true;
+  series.series.push_back(stats);
+
+  JobRecord extraction;
+  extraction.family = "lossy_link";
+  extraction.label = "{<->}";
+  extraction.n = 2;
+  extraction.kind = sweep::JobKind::kDecisionTable;
+  extraction.verdict = "SOLVABLE";
+  extraction.certified_depth = 1;
+  JobRecord::Table table;
+  table.entries = 10;
+  table.worst_decision_round = 1;
+  extraction.table = table;
+  extraction.round_entries = {2, 8};
+
+  JobRecord merged;  // no certificate: must still appear in the CSV
+  merged.family = "lossy_link";
+  merged.label = "{<-, ->, <->}";
+  merged.n = 2;
+  merged.kind = sweep::JobKind::kDecisionTable;
+  merged.verdict = "NOT-SEPARATED";
+
+  std::ostringstream out;
+  scenario::render_records_csv(out, "unit", {series, extraction, merged});
+  const std::string text = out.str();
+  // Header + 1 series row + 2 round rows + 1 verdict-only row.
+  EXPECT_EQ(static_cast<int>(std::count(text.begin(), text.end(), '\n')), 5);
+  EXPECT_NE(text.find("\"{<-, ->}\""), std::string::npos);
+  EXPECT_NE(text.find("unit,1,lossy_link,{<->},2,decision_table,0,,,,,,,,"
+                      "SOLVABLE,1,2,1"),
+            std::string::npos);
+  EXPECT_NE(text.find("unit,2,lossy_link,\"{<-, ->, <->}\",2,decision_table"
+                      ",,,,,,,,,NOT-SEPARATED,,,"),
+            std::string::npos);
 }
 
 }  // namespace

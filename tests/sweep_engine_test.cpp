@@ -2,6 +2,13 @@
 // (including nesting), exact agreement of the sharded depth analysis with
 // the serial one, SweepSpec execution with deterministic result ordering,
 // and byte-identical JSON across thread counts.
+//
+// This suite deliberately keeps exercising the DEPRECATED legacy shims
+// (run_sweep, solvability_job, series_job) alongside run_sweep_on: the
+// facade (api::Session) is tested in api_session_test; the shims must
+// keep working until they are removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include <atomic>
 #include <memory>
 #include <sstream>
@@ -334,5 +341,66 @@ TEST(JsonWriterTest, EscapesAndNests) {
             "    true,\n    -7\n  ]\n}");
 }
 
+// ---- run_sweep_on (the Session execution path) --------------------------
+
+TEST(RunSweepOn, MatchesRunSweepAndStreamsHooksInOrder) {
+  const std::vector<JobOutcome> legacy = sweep::run_sweep(small_spec(2));
+  SweepSpec spec = small_spec(2);
+  ThreadPool pool(2);
+  std::vector<int> starts(spec.jobs.size(), 0);
+  std::vector<std::vector<int>> depths(spec.jobs.size());
+  std::vector<int> dones(spec.jobs.size(), 0);
+  sweep::SweepHooks hooks;
+  hooks.on_job_start = [&](std::size_t j, const sweep::SweepJob&) {
+    ++starts[j];
+  };
+  hooks.on_depth = [&](std::size_t j, const DepthStats& stats) {
+    depths[j].push_back(stats.depth);
+  };
+  hooks.on_job_done = [&](std::size_t j, const JobOutcome&) { ++dones[j]; };
+  const std::vector<JobOutcome> outcomes =
+      sweep::run_sweep_on(spec, pool, hooks);
+  ASSERT_EQ(outcomes.size(), legacy.size());
+  for (std::size_t j = 0; j < outcomes.size(); ++j) {
+    EXPECT_EQ(sweep::summarize(outcomes[j]), sweep::summarize(legacy[j]));
+    EXPECT_EQ(starts[j], 1) << "job " << j;
+    EXPECT_EQ(dones[j], 1) << "job " << j;
+    // One on_depth per completed depth, in depth order.
+    const std::vector<DepthStats>& stats =
+        outcomes[j].kind == JobKind::kDepthSeries
+            ? outcomes[j].series
+            : outcomes[j].result.per_depth;
+    ASSERT_EQ(depths[j].size(), stats.size()) << "job " << j;
+    for (std::size_t d = 0; d < stats.size(); ++d) {
+      EXPECT_EQ(depths[j][d], stats[d].depth);
+    }
+  }
+}
+
+TEST(RunSweepOn, DecisionTableJobExtractsRoundProfile) {
+  SweepSpec spec;
+  spec.name = "extract";
+  sweep::SweepJob job;
+  job.point = {"lossy_link", 2, 0b011};
+  job.kind = sweep::JobKind::kDecisionTable;
+  job.solve.max_depth = 5;
+  job.solve.build_table = false;  // forced on by the engine for this kind
+  spec.jobs.push_back(job);
+  ThreadPool pool(2);
+  const std::vector<JobOutcome> outcomes = sweep::run_sweep_on(spec, pool);
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].result.table.has_value());
+  const sweep::JobRecord record = sweep::summarize(outcomes[0]);
+  ASSERT_TRUE(record.table.has_value());
+  std::uint64_t total = 0;
+  for (const std::uint64_t entries : record.round_entries) {
+    total += entries;
+  }
+  EXPECT_EQ(total, record.table->entries);
+  EXPECT_EQ(record.per_depth.size(), 0u)
+      << "extraction records carry the table shape, not search stats";
+}
+
 }  // namespace
 }  // namespace topocon
+#pragma GCC diagnostic pop

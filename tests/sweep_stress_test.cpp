@@ -12,26 +12,24 @@
 #include <gtest/gtest.h>
 
 #include "adversary/family.hpp"
+#include "api/api.hpp"
 #include "core/solvability.hpp"
-#include "runtime/sweep/engine.hpp"
 #include "runtime/sweep/parallel_solver.hpp"
 
 namespace topocon {
 namespace {
 
-sweep::SweepSpec omission_bench_spec(int threads) {
-  sweep::SweepSpec spec;
-  spec.name = "stress-omission-n3";
-  spec.num_threads = threads;
-  spec.record = false;
+std::vector<sweep::JobOutcome> run_omission_bench(int threads) {
+  api::Session session({.num_threads = threads, .record_global = false});
+  std::vector<api::Query> queries;
   SolvabilityOptions options;
   options.max_depth = 3;
   options.max_states = 6'000'000;
   options.build_table = false;
   for (int f = 0; f <= 4; ++f) {
-    spec.jobs.push_back(sweep::solvability_job({"omission", 3, f}, options));
+    queries.push_back(api::solvability({"omission", 3, f}, options));
   }
-  return spec;
+  return session.run("stress-omission-n3", queries);
 }
 
 std::string sweep_json(const std::vector<sweep::JobOutcome>& outcomes) {
@@ -45,12 +43,11 @@ std::string sweep_json(const std::vector<sweep::JobOutcome>& outcomes) {
 // omission bench sweep yields byte-identical JSON at 1 vs 8 vs
 // hardware_concurrency threads.
 TEST(SweepStress, OmissionBenchJsonByteIdenticalAcrossThreadCounts) {
-  const std::string base = sweep_json(sweep::run_sweep(omission_bench_spec(1)));
+  const std::string base = sweep_json(run_omission_bench(1));
   EXPECT_FALSE(base.empty());
   for (const int threads :
        {8, static_cast<int>(std::thread::hardware_concurrency())}) {
-    const std::string json =
-        sweep_json(sweep::run_sweep(omission_bench_spec(std::max(threads, 1))));
+    const std::string json = sweep_json(run_omission_bench(std::max(threads, 1)));
     EXPECT_EQ(json, base) << "JSON differs at " << threads << " threads";
   }
 }
@@ -78,38 +75,34 @@ TEST(SweepStress, DeepWindowedAnalysisMatchesSerialOversubscribed) {
 // times on different pools and require identical JSON every time (hunts
 // scheduling-dependent nondeterminism that single runs can miss).
 TEST(SweepStress, RepeatedMixedSweepsAreStable) {
-  const auto make_spec = [](int threads) {
-    sweep::SweepSpec spec;
-    spec.name = "stress-mixed";
-    spec.num_threads = threads;
-    spec.record = false;
+  const auto run_mixed = [](int threads) {
+    api::Session session({.num_threads = threads, .record_global = false});
+    std::vector<api::Query> queries;
     SolvabilityOptions solve;
     solve.max_depth = 5;
     for (int mask = 1; mask < 8; ++mask) {
-      spec.jobs.push_back(
-          sweep::solvability_job({"lossy_link", 2, mask}, solve));
+      queries.push_back(api::solvability({"lossy_link", 2, mask}, solve));
     }
     SolvabilityOptions heard;
     heard.max_depth = 2;
     heard.max_states = 6'000'000;
     heard.build_table = false;
-    spec.jobs.push_back(sweep::solvability_job({"heard_of", 3, 2}, heard));
+    queries.push_back(api::solvability({"heard_of", 3, 2}, heard));
     AnalysisOptions series;
     series.depth = 6;
     series.keep_levels = false;
-    spec.jobs.push_back(sweep::series_job({"lossy_link", 2, 7}, series));
-    return spec;
+    queries.push_back(api::depth_series({"lossy_link", 2, 7}, series));
+    queries.push_back(api::decision_table({"lossy_link", 2, 5}, solve));
+    return session.run("stress-mixed", queries);
   };
   std::ostringstream base_out;
   sweep::JsonWriter base_writer(base_out);
-  sweep::write_sweep_json(base_writer, "stress-mixed",
-                          sweep::run_sweep(make_spec(1)));
+  sweep::write_sweep_json(base_writer, "stress-mixed", run_mixed(1));
   const std::string base = base_out.str();
   for (int round = 0; round < 6; ++round) {
     std::ostringstream out;
     sweep::JsonWriter writer(out);
-    sweep::write_sweep_json(writer, "stress-mixed",
-                            sweep::run_sweep(make_spec(2 + round)));
+    sweep::write_sweep_json(writer, "stress-mixed", run_mixed(2 + round));
     ASSERT_EQ(out.str(), base) << "round " << round;
   }
 }

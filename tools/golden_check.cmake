@@ -1,0 +1,47 @@
+# Golden-compatibility check for the Session/Query redesign, run via
+# `cmake -P`: `topocon run SCENARIO --json` must reproduce the committed
+# pre-redesign topocon-sweep-v1 document byte for byte, at every
+# requested thread count.
+#
+# Inputs (all -D):
+#   TOPOCON_CLI  path to the topocon binary
+#   SCENARIO     scenario name to run
+#   GOLDEN       committed reference document (tests/golden/*.json)
+#   THREADS      comma-separated thread counts to verify, e.g. "1,2,8"
+#   WORK_DIR     scratch directory (recreated)
+
+foreach(var TOPOCON_CLI SCENARIO GOLDEN THREADS WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}")
+  endif()
+endforeach()
+
+string(REPLACE "," ";" THREADS "${THREADS}")
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+foreach(threads IN LISTS THREADS)
+  set(artifact "${WORK_DIR}/t${threads}.json")
+  execute_process(
+    COMMAND ${TOPOCON_CLI} run ${SCENARIO} --threads=${threads}
+            --json=${artifact}
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE output
+    ERROR_VARIABLE output)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR
+      "topocon run ${SCENARIO} --threads=${threads} exited ${code}:\n"
+      "${output}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${artifact} ${GOLDEN}
+    RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+      "${SCENARIO} at ${threads} thread(s) is NOT byte-identical to the "
+      "golden ${GOLDEN}")
+  endif()
+endforeach()
+
+message(STATUS "golden OK: ${SCENARIO} at threads {${THREADS}}")

@@ -1,20 +1,28 @@
-// topocon -- operator CLI over the scenario catalog and the parallel
-// sweep engine.
+// topocon -- operator CLI over the scenario catalog and the api facade
+// (Session/Query).
 //
 //   topocon list
 //   topocon describe SCENARIO
-//   topocon run SCENARIO [--threads=N] [--json=PATH]
+//   topocon run SCENARIO [--threads=N] [--json=PATH] [--format=table|csv]
 //                        [--n=N] [--param-min=V] [--param-max=V]
-//   topocon resume PATH [--threads=N]
+//   topocon resume PATH [--threads=N] [--format=table|csv]
 //
-// `run --json=PATH` checkpoints incrementally: PATH holds a line-oriented
-// checkpoint (header + one record line per completed job, flushed as jobs
-// finish) until the sweep completes, at which point it is atomically
-// replaced by the finalized topocon-sweep-v1 document. A run killed at
-// any point can be finished with `topocon resume PATH`: completed jobs
-// are loaded from the checkpoint, only the missing ones are re-run, and
-// the final document is byte-identical to an uninterrupted run at any
-// thread count (the engine's determinism contract).
+// `run` expands the scenario into an api::Plan (a named list of pure-data
+// api::Query values) and executes it on one api::Session. With
+// `--json=PATH` an Observer checkpoints incrementally: PATH holds a
+// line-oriented checkpoint (header + one record line per completed job,
+// flushed as jobs finish) until the sweep completes, at which point it is
+// atomically replaced by the finalized topocon-sweep-v1 document. The
+// checkpoint header carries the serialized queries themselves, so a run
+// killed at any point can be finished with `topocon resume PATH` even if
+// the catalog changed meanwhile: completed jobs are loaded, the missing
+// ones re-run from the checkpointed query descriptions, and the final
+// document is byte-identical to an uninterrupted run at any thread count
+// (the engine's determinism contract).
+//
+// `--format=csv` renders the records as one CSV table on stdout (for
+// plotting the E4/E6/E7 convergence curves); status messages then go to
+// stderr so stdout is a clean artifact.
 //
 // Exit codes: 0 success, 1 I/O failure, 2 usage error, 3 simulated crash
 // (--fail-after, testing only).
@@ -28,9 +36,9 @@
 #include <vector>
 
 #include "analysis/report.hpp"
+#include "api/api.hpp"
 #include "runtime/sweep/checkpoint.hpp"
 #include "runtime/sweep/cli.hpp"
-#include "runtime/sweep/engine.hpp"
 #include "scenario/render.hpp"
 #include "scenario/scenario.hpp"
 
@@ -55,6 +63,11 @@ int usage(std::ostream& out, int code) {
          "  --json=PATH               checkpoint to PATH while running, "
          "then finalize\n"
          "                            it as a topocon-sweep-v1 document\n"
+         "  --format=table|csv        report style (default: table); csv "
+         "prints one\n"
+         "                            row per depth for plotting, with "
+         "status\n"
+         "                            messages moved to stderr\n"
          "  --n=N                     override the scenario's process "
          "count\n"
          "  --param-min=V             lower end of the parameter grid\n"
@@ -64,9 +77,12 @@ int usage(std::ostream& out, int code) {
   return code;
 }
 
+enum class Format { kTable, kCsv };
+
 struct RunFlags {
   int threads = 0;
   std::string json_path;
+  Format format = Format::kTable;
   scenario::GridOverrides overrides;
   int fail_after = 0;  // 0 = disabled
 };
@@ -85,6 +101,16 @@ bool parse_flags(int argc, char** argv, int first, RunFlags* flags) {
           return false;
         }
         flags->json_path = *v;
+      } else if (const auto v = sweep::flag_value(arg, "format")) {
+        if (*v == "table") {
+          flags->format = Format::kTable;
+        } else if (*v == "csv") {
+          flags->format = Format::kCsv;
+        } else {
+          std::cerr << "topocon: --format expects 'table' or 'csv', got '"
+                    << *v << "'\n";
+          return false;
+        }
       } else if (const auto v = sweep::flag_value(arg, "n")) {
         flags->overrides.n = sweep::parse_int_value("n", *v);
       } else if (const auto v = sweep::flag_value(arg, "param-min")) {
@@ -105,12 +131,27 @@ bool parse_flags(int argc, char** argv, int first, RunFlags* flags) {
   return true;
 }
 
+/// Status stream: stderr when stdout is a CSV artifact.
+std::ostream& info_stream(const RunFlags& flags) {
+  return flags.format == Format::kCsv ? std::cerr : std::cout;
+}
+
+void render(std::ostream& out, const RunFlags& flags,
+            const std::string& sweep_name,
+            const std::vector<sweep::JobRecord>& records) {
+  if (flags.format == Format::kCsv) {
+    scenario::render_records_csv(out, sweep_name, records);
+  } else {
+    scenario::render_records(out, sweep_name, records);
+  }
+}
+
 sweep::CheckpointHeader make_header(const std::string& scenario_name,
                                     const scenario::GridOverrides& overrides,
-                                    std::size_t num_jobs) {
+                                    const std::vector<api::Query>& queries) {
   sweep::CheckpointHeader header;
   header.sweep_name = scenario_name;
-  header.num_jobs = num_jobs;
+  header.num_jobs = queries.size();
   header.meta.emplace_back("scenario", scenario_name);
   if (overrides.n.has_value()) {
     header.meta.emplace_back("n", std::to_string(*overrides.n));
@@ -122,6 +163,11 @@ sweep::CheckpointHeader make_header(const std::string& scenario_name,
   if (overrides.param_max.has_value()) {
     header.meta.emplace_back("param_max",
                              std::to_string(*overrides.param_max));
+  }
+  // The full job description rides along, so resume rebuilds the exact
+  // job list from the checkpoint instead of re-expanding the catalog.
+  for (const api::Query& query : queries) {
+    header.queries.push_back(api::query_to_json(query));
   }
   return header;
 }
@@ -190,26 +236,49 @@ bool finalize_json(const std::string& path, const std::string& sweep_name,
   });
 }
 
-/// Shared by run and resume: executes `spec` (whose job j maps to overall
-/// job job_index[j]), checkpointing to `ckpt` when given, then merges the
-/// fresh records into `records`. Crash-exits 3 after fail_after appends.
-void run_jobs(sweep::SweepSpec spec, const std::vector<std::size_t>& job_index,
+/// Streams finished jobs into the checkpoint file. `job_index` maps the
+/// running plan's job positions to overall job indices (resume runs a
+/// suffix of the plan). Crash-exits 3 after `fail_after` appends.
+class CheckpointObserver : public api::Observer {
+ public:
+  CheckpointObserver(sweep::CheckpointWriter* ckpt,
+                     const std::vector<std::size_t>& job_index,
+                     int fail_after)
+      : ckpt_(ckpt), job_index_(job_index), fail_after_(fail_after) {}
+
+  void on_job_done(std::size_t job,
+                   const sweep::JobOutcome& outcome) override {
+    if (ckpt_ == nullptr) return;
+    ckpt_->append(job_index_[job], sweep::summarize(outcome));
+    if (fail_after_ > 0 && ++appended_ >= fail_after_) {
+      // Simulated kill for the resume tests: no destructors, no final
+      // document -- exactly what a crash mid-sweep leaves behind.
+      std::_Exit(3);
+    }
+  }
+
+ private:
+  sweep::CheckpointWriter* ckpt_;
+  const std::vector<std::size_t>& job_index_;
+  int fail_after_;
+  int appended_ = 0;
+};
+
+/// Shared by run and resume: executes the queries on the session (query j
+/// maps to overall job job_index[j]), checkpointing to `ckpt` when given,
+/// then merges the fresh records into `records`.
+void run_jobs(api::Session& session, const std::string& name,
+              const std::vector<api::Query>& queries,
+              const std::vector<std::size_t>& job_index,
               sweep::CheckpointWriter* ckpt, int fail_after,
               std::vector<std::optional<sweep::JobRecord>>* records) {
-  int appended = 0;
-  if (ckpt != nullptr) {
-    spec.on_job_done = [&](std::size_t j, const sweep::JobOutcome& outcome) {
-      ckpt->append(job_index[j], sweep::summarize(outcome));
-      if (fail_after > 0 && ++appended >= fail_after) {
-        // Simulated kill for the resume tests: no destructors, no final
-        // document -- exactly what a crash mid-sweep leaves behind.
-        std::_Exit(3);
-      }
-    };
-  }
-  const std::vector<sweep::JobOutcome> outcomes = sweep::run_sweep(spec);
-  for (std::size_t j = 0; j < outcomes.size(); ++j) {
-    (*records)[job_index[j]] = sweep::summarize(outcomes[j]);
+  CheckpointObserver observer(ckpt, job_index, fail_after);
+  session.run(name, queries, &observer);
+  // The session already summarized the run into its history; reuse those
+  // records instead of summarizing the outcomes a second time.
+  const std::vector<sweep::JobRecord>& fresh = session.history().back().second;
+  for (std::size_t j = 0; j < fresh.size(); ++j) {
+    (*records)[job_index[j]] = fresh[j];
   }
 }
 
@@ -227,11 +296,11 @@ int cmd_list() {
   Table table({"scenario", "jobs", "overrides", "summary"});
   table.align_right(1);
   for (const scenario::Scenario& s : scenario::catalog()) {
-    const sweep::SweepSpec spec = scenario::expand_scenario(s, {});
+    const api::Plan plan = scenario::expand_scenario(s, {});
     std::string overrides;
     if (s.supports_n) overrides += "--n ";
     if (s.supports_param_range) overrides += "--param-min/max";
-    table.add_row({s.name, std::to_string(spec.jobs.size()),
+    table.add_row({s.name, std::to_string(plan.queries.size()),
                    overrides.empty() ? "-" : overrides, s.summary});
   }
   table.print(std::cout);
@@ -247,20 +316,19 @@ int cmd_describe(const std::string& name) {
   }
   std::cout << s->name << " -- " << s->summary << "\n\n"
             << s->description << "\n\n";
-  const sweep::SweepSpec spec = scenario::expand_scenario(*s, {});
-  std::cout << "Default grid (" << spec.jobs.size() << " jobs):\n";
+  const api::Plan plan = scenario::expand_scenario(*s, {});
+  std::cout << "Default grid (" << plan.queries.size() << " jobs):\n";
   Table table({"#", "family", "label", "n", "kind", "depth"});
   table.align_right(0);
   table.align_right(3);
   table.align_right(5);
-  for (std::size_t j = 0; j < spec.jobs.size(); ++j) {
-    const sweep::SweepJob& job = spec.jobs[j];
-    const int depth = job.kind == sweep::JobKind::kSolvability
-                          ? job.solve.max_depth
-                          : job.analysis.depth;
-    table.add_row({std::to_string(j), job.family, job.label,
-                   std::to_string(job.n), to_string(job.kind),
-                   std::to_string(depth)});
+  for (std::size_t j = 0; j < plan.queries.size(); ++j) {
+    const api::Query& query = plan.queries[j];
+    table.add_row({std::to_string(j), api::point_of(query).family,
+                   api::label_of(query),
+                   std::to_string(api::point_of(query).n),
+                   to_string(api::kind_of(query)),
+                   std::to_string(api::depth_of(query))});
   }
   table.print(std::cout);
   return 0;
@@ -273,23 +341,24 @@ int cmd_run(const std::string& name, const RunFlags& flags) {
               << "' (see `topocon list`)\n";
     return 2;
   }
-  sweep::SweepSpec spec;
+  api::Plan plan;
   try {
-    spec = scenario::expand_scenario(*s, flags.overrides);
+    plan = scenario::expand_scenario(*s, flags.overrides);
   } catch (const std::invalid_argument& error) {
     std::cerr << "topocon: " << error.what() << "\n";
     return 2;
   }
-  spec.num_threads = flags.threads;
 
   if (flags.fail_after > 0 && flags.json_path.empty()) {
     std::cerr << "topocon: --fail-after only makes sense with --json\n";
     return 2;
   }
 
-  std::vector<std::size_t> job_index(spec.jobs.size());
+  api::Session session({.num_threads = flags.threads,
+                        .record_global = false});
+  std::vector<std::size_t> job_index(plan.queries.size());
   for (std::size_t j = 0; j < job_index.size(); ++j) job_index[j] = j;
-  std::vector<std::optional<sweep::JobRecord>> records(spec.jobs.size());
+  std::vector<std::optional<sweep::JobRecord>> records(plan.queries.size());
 
   if (!flags.json_path.empty()) {
     std::ofstream ckpt_out(flags.json_path, std::ios::trunc);
@@ -298,20 +367,21 @@ int cmd_run(const std::string& name, const RunFlags& flags) {
       return 1;
     }
     sweep::CheckpointWriter ckpt(ckpt_out);
-    ckpt.write_header(
-        make_header(s->name, flags.overrides, spec.jobs.size()));
-    run_jobs(std::move(spec), job_index, &ckpt, flags.fail_after, &records);
+    ckpt.write_header(make_header(s->name, flags.overrides, plan.queries));
+    run_jobs(session, plan.name, plan.queries, job_index, &ckpt,
+             flags.fail_after, &records);
     ckpt_out.close();
     const std::vector<sweep::JobRecord> final_records =
         unwrap(std::move(records));
     if (!finalize_json(flags.json_path, s->name, final_records)) return 1;
-    std::cout << "Wrote " << flags.json_path << "\n\n";
-    scenario::render_records(std::cout, s->name, final_records);
+    info_stream(flags) << "Wrote " << flags.json_path << "\n\n";
+    render(std::cout, flags, s->name, final_records);
     return 0;
   }
 
-  run_jobs(std::move(spec), job_index, nullptr, 0, &records);
-  scenario::render_records(std::cout, s->name, unwrap(std::move(records)));
+  run_jobs(session, plan.name, plan.queries, job_index, nullptr, 0,
+           &records);
+  render(std::cout, flags, s->name, unwrap(std::move(records)));
   return 0;
 }
 
@@ -330,9 +400,10 @@ int cmd_resume(const std::string& path, const RunFlags& flags) {
     try {
       const sweep::SweepDocument doc =
           sweep::read_sweep_document(std::string_view(text));
-      std::cout << path << " is already finalized; nothing to resume.\n\n";
+      info_stream(flags) << path
+                         << " is already finalized; nothing to resume.\n\n";
       for (const auto& [sweep_name, records] : doc.sweeps) {
-        scenario::render_records(std::cout, sweep_name, records);
+        render(std::cout, flags, sweep_name, records);
       }
       return 0;
     } catch (const std::runtime_error& error) {
@@ -352,63 +423,80 @@ int cmd_resume(const std::string& path, const RunFlags& flags) {
     return 1;
   }
 
-  const std::string* scenario_name = meta_value(state.header, "scenario");
-  const scenario::Scenario* s =
-      scenario_name != nullptr ? scenario::find_scenario(*scenario_name)
-                               : nullptr;
-  if (s == nullptr) {
-    std::cerr << "topocon: checkpoint " << path
-              << " names no known scenario\n";
-    return 1;
+  // The job list: from the checkpointed query descriptions when present
+  // (the full job description travels with the artifact); for older
+  // checkpoints, by re-expanding the named scenario.
+  const std::string sweep_name = state.header.sweep_name;
+  std::vector<api::Query> queries;
+  if (!state.header.queries.empty()) {
+    try {
+      for (const sweep::JsonValue& value : state.header.queries) {
+        queries.push_back(api::query_from_json(value));
+      }
+    } catch (const std::runtime_error& error) {
+      std::cerr << "topocon: corrupt checkpoint " << path << ": "
+                << error.what() << "\n";
+      return 1;
+    }
+  } else {
+    const std::string* scenario_name = meta_value(state.header, "scenario");
+    const scenario::Scenario* s =
+        scenario_name != nullptr ? scenario::find_scenario(*scenario_name)
+                                 : nullptr;
+    if (s == nullptr) {
+      std::cerr << "topocon: checkpoint " << path
+                << " carries no queries and names no known scenario\n";
+      return 1;
+    }
+    try {
+      queries =
+          scenario::expand_scenario(*s, overrides_from_meta(state.header))
+              .queries;
+    } catch (const std::invalid_argument& error) {
+      std::cerr << "topocon: " << error.what() << "\n";
+      return 1;
+    }
+    if (queries.size() != state.header.num_jobs) {
+      std::cerr << "topocon: checkpoint job count " << state.header.num_jobs
+                << " does not match the scenario grid (" << queries.size()
+                << " jobs)\n";
+      return 1;
+    }
   }
-  sweep::SweepSpec spec;
-  try {
-    spec = scenario::expand_scenario(*s, overrides_from_meta(state.header));
-  } catch (const std::invalid_argument& error) {
-    std::cerr << "topocon: " << error.what() << "\n";
-    return 1;
-  }
-  if (spec.jobs.size() != state.header.num_jobs) {
-    std::cerr << "topocon: checkpoint job count " << state.header.num_jobs
-              << " does not match the scenario grid (" << spec.jobs.size()
-              << " jobs)\n";
-    return 1;
-  }
-  spec.num_threads = flags.threads;
 
-  std::vector<std::optional<sweep::JobRecord>> records(spec.jobs.size());
+  std::vector<std::optional<sweep::JobRecord>> records(queries.size());
   for (auto& [job, record] : state.completed) {
-    // Guard against a stale checkpoint from a different catalog version:
+    // Guard against a stale checkpoint from a different producer version:
     // matching job count alone would silently merge records with
     // different semantics and break the byte-identity guarantee.
-    const sweep::SweepJob& expected = spec.jobs[job];
-    if (record.family != expected.family || record.label != expected.label ||
-        record.n != expected.n) {
+    const api::Query& expected = queries[job];
+    const FamilyPoint& point = api::point_of(expected);
+    if (record.family != point.family ||
+        record.label != api::label_of(expected) || record.n != point.n) {
       std::cerr << "topocon: checkpoint job " << job << " is "
                 << record.family << " " << record.label
-                << " but the scenario grid expects " << expected.family
-                << " " << expected.label
+                << " but the job list expects " << point.family << " "
+                << api::label_of(expected)
                 << "; was the checkpoint written by another version?\n";
       return 1;
     }
     records[job] = std::move(record);
   }
-  sweep::SweepSpec pending;
-  pending.name = spec.name;
-  pending.record = false;
-  pending.num_threads = spec.num_threads;
+  std::vector<api::Query> pending;
   std::vector<std::size_t> job_index;
-  for (std::size_t j = 0; j < spec.jobs.size(); ++j) {
+  for (std::size_t j = 0; j < queries.size(); ++j) {
     if (!records[j].has_value()) {
       job_index.push_back(j);
-      pending.jobs.push_back(std::move(spec.jobs[j]));
+      pending.push_back(queries[j]);
     }
   }
-  std::cout << "Resuming " << s->name << ": " << state.completed.size()
-            << " of " << spec.jobs.size() << " jobs checkpointed, "
-            << pending.jobs.size() << " to run"
-            << (state.partial_tail ? " (dropped a torn trailing line)" : "")
-            << "\n";
+  info_stream(flags) << "Resuming " << sweep_name << ": "
+                     << state.completed.size() << " of " << queries.size()
+                     << " jobs checkpointed, " << pending.size() << " to run"
+                     << (state.partial_tail
+                             ? " (dropped a torn trailing line)"
+                             : "")
+                     << "\n";
 
   // Rewrite the checkpoint from the recovered state instead of appending
   // after whatever the kill left behind: a torn trailing line would
@@ -431,13 +519,16 @@ int cmd_resume(const std::string& path, const RunFlags& flags) {
     return 1;
   }
   sweep::CheckpointWriter ckpt(ckpt_out);
-  run_jobs(std::move(pending), job_index, &ckpt, flags.fail_after, &records);
+  api::Session session({.num_threads = flags.threads,
+                        .record_global = false});
+  run_jobs(session, sweep_name, pending, job_index, &ckpt, flags.fail_after,
+           &records);
   ckpt_out.close();
   const std::vector<sweep::JobRecord> final_records =
       unwrap(std::move(records));
-  if (!finalize_json(path, s->name, final_records)) return 1;
-  std::cout << "Wrote " << path << "\n\n";
-  scenario::render_records(std::cout, s->name, final_records);
+  if (!finalize_json(path, sweep_name, final_records)) return 1;
+  info_stream(flags) << "Wrote " << path << "\n\n";
+  render(std::cout, flags, sweep_name, final_records);
   return 0;
 }
 
@@ -466,7 +557,7 @@ int main(int argc, char** argv) {
         flags.overrides.param_min.has_value() ||
         flags.overrides.param_max.has_value()) {
       std::cerr << "topocon: resume takes the checkpoint PATH plus "
-                   "--threads/--fail-after only\n";
+                   "--threads/--format/--fail-after only\n";
       return 2;
     }
     return cmd_resume(argv[2], flags);
