@@ -134,6 +134,32 @@ void BM_ParallelCheckOmission(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelCheckOmission)->Args({3, 1})->Args({3, 2});
 
+// The same check with sub-root sharding forced to `chunk` states per
+// expansion chunk (0 = the process default): measures the frontier
+// engine's chunking overhead at one lane and its load-balance win at
+// --sweep-threads > 1. Results are identical for every chunk size.
+void BM_ChunkedCheckOmission(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int f = static_cast<int>(state.range(1));
+  const auto chunk = static_cast<std::size_t>(state.range(2));
+  const auto ma = make_omission_adversary(n, f);
+  SolvabilityOptions options;
+  options.max_depth = n == 2 ? 5 : 2;
+  options.max_states = 6'000'000;
+  options.build_table = false;
+  sweep::ThreadPool pool(sweep::default_num_threads());
+  sweep::ShardingOptions sharding;
+  sharding.chunk_states = chunk;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sweep::parallel_check_solvability(*ma, options, pool, {}, sharding));
+  }
+}
+BENCHMARK(BM_ChunkedCheckOmission)
+    ->Args({3, 2, 64})
+    ->Args({3, 2, 1024})
+    ->Args({3, 2, 0});
+
 void BM_FloodMinRound(benchmark::State& state) {
   const int n = 3;
   const auto ma = make_omission_adversary(n, 1);

@@ -56,7 +56,10 @@
 // Queries round-trip through JSON (query_to_json / query_from_json), so
 // checkpoints carry the full job description and sweeps can be replayed
 // from their artifacts alone. Results are bit-identical at every thread
-// count and independent of session history.
+// count (and every frontier chunk size -- the sub-root sharding knob of
+// runtime/sweep/parallel_solver.hpp) and independent of session
+// history. An api::Observer streams job/depth/chunk progress while a
+// run executes; observers can never change results.
 #pragma once
 
 #include "api/query.hpp"    // IWYU pragma: export

@@ -6,6 +6,7 @@ namespace topocon::api {
 
 void Observer::on_job_start(std::size_t, const Query&) {}
 void Observer::on_depth(std::size_t, const DepthStats&) {}
+void Observer::on_depth(std::size_t, const ChunkProgress&) {}
 void Observer::on_job_done(std::size_t, const sweep::JobOutcome&) {}
 
 Session::Session(SessionOptions options)
@@ -32,6 +33,10 @@ std::vector<sweep::JobOutcome> Session::run(const std::string& name,
     };
     hooks.on_depth = [observer](std::size_t job, const DepthStats& stats) {
       observer->on_depth(job, stats);
+    };
+    hooks.on_chunk = [observer](std::size_t job,
+                                const ChunkProgress& progress) {
+      observer->on_depth(job, progress);
     };
     hooks.on_job_done = [observer](std::size_t job,
                                    const sweep::JobOutcome& outcome) {

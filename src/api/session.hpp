@@ -20,10 +20,12 @@
 // api_session_test).
 //
 // Streaming: an Observer watches a run as it executes -- job start, each
-// completed depth, job completion -- generalizing the single on_job_done
-// checkpoint hook of SweepSpec. Callbacks arrive serialized (no locking
-// needed inside) but in completion order; key on the job index, never on
-// arrival order. Observers cannot change results.
+// completed expansion chunk (the frontier engine's finest-grained
+// signal, for progress display), each completed depth, job completion --
+// generalizing the single on_job_done checkpoint hook of SweepSpec.
+// Callbacks arrive serialized (no locking needed inside) but in
+// completion order; key on the job index, never on arrival order.
+// Observers cannot change results.
 //
 // Sessions are not thread-safe: one run() at a time, from one thread
 // (the parallelism lives inside the pool). Create one Session per
@@ -64,6 +66,11 @@ class Observer {
   /// Job `job` completed the depth described by `stats` (solvability
   /// deepening step or series entry), in depth order per job.
   virtual void on_depth(std::size_t job, const DepthStats& stats);
+  /// Finer-grained sibling of the overload above: job `job` finished one
+  /// expansion chunk inside its current depth pass (core/frontier.hpp).
+  /// Many per depth, level by level; intended for progress display.
+  /// Counters only -- chunk completion order is thread-count-dependent.
+  virtual void on_depth(std::size_t job, const ChunkProgress& progress);
   /// Job `job` finished; `outcome` carries its final aggregates. Follows
   /// every on_depth of the same job.
   virtual void on_job_done(std::size_t job,

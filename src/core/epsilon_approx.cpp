@@ -5,6 +5,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "core/frontier.hpp"
 #include "core/union_find.hpp"
 
 namespace topocon {
@@ -220,40 +221,27 @@ DepthAnalysis analyze_depth(const MessageAdversary& adversary,
   analysis.num_processes = n;
   analysis.interner =
       interner ? std::move(interner) : std::make_shared<ViewInterner>();
-  ViewInterner& intern = *analysis.interner;
 
-  // ---- Level 0: one class per input vector.
+  // One engine over the whole root range, advanced serially (a single
+  // chunk per level -- see core/frontier.hpp for the chunked form the
+  // parallel solver drives).
   const int num_roots =
       static_cast<int>(all_input_vectors(n, options.num_values).size());
-  std::vector<PrefixState> current =
-      initial_frontier(adversary, options, intern, 0, num_roots);
-  if (options.keep_levels) {
-    analysis.levels.push_back(current);
-    analysis.first_parent.push_back(
-        std::vector<std::pair<int, int>>(current.size(), {-1, -1}));
-  }
-
-  // ---- BFS levels 1..depth with per-level deduplication.
-  int reached_depth = 0;
+  FrontierEngine engine(adversary, options, *analysis.interner, 0,
+                        num_roots);
   for (int s = 1; s <= options.depth; ++s) {
-    FrontierLevel level = expand_frontier(adversary, intern, current,
-                                          options.max_states,
-                                          options.keep_levels);
-    if (level.overflow) {
+    if (!engine.advance()) {
       analysis.truncated = true;
       break;
     }
-    current = std::move(level.states);
-    reached_depth = s;
-    if (options.keep_levels) {
-      analysis.children.push_back(std::move(level.children));
-      analysis.levels.push_back(current);
-      analysis.first_parent.push_back(std::move(level.first_parent));
-    }
   }
-  analysis.depth = reached_depth;
-  if (!options.keep_levels) {
-    analysis.levels.push_back(current);
+  analysis.depth = engine.level();
+  if (options.keep_levels) {
+    analysis.levels = engine.take_levels();
+    analysis.first_parent = engine.take_first_parent();
+    analysis.children = engine.take_children();
+  } else {
+    analysis.levels.push_back(engine.take_frontier());
   }
 
   compute_components(options, analysis);

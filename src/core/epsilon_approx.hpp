@@ -167,14 +167,19 @@ DepthAnalysis analyze_depth(const MessageAdversary& adversary,
 
 // ---- Frontier API -------------------------------------------------------
 //
-// The BFS over the admissible-prefix space, exposed level by level. Both
-// analyze_depth() above and the parallel sweep engine
-// (runtime/sweep/parallel_solver.*) are built on these three calls. A key
-// structural fact makes sharding exact: the dedup key contains all views,
-// every view contains its own input, so classes of *different* input
-// vectors never merge -- the prefix space is the disjoint union of one
-// subtree per input vector ("root"), and each subtree can be expanded
-// independently with a private interner.
+// The BFS over the admissible-prefix space, exposed level by level. The
+// production expansion path is the chunked FrontierEngine in
+// core/frontier.hpp -- analyze_depth() above drives one engine serially,
+// the parallel sweep engine (runtime/sweep/parallel_solver.*) drives one
+// engine per root with sub-root chunk sharding. A key structural fact
+// makes root sharding exact: the dedup key contains all views, every view
+// contains its own input, so classes of *different* input vectors never
+// merge -- the prefix space is the disjoint union of one subtree per
+// input vector ("root"), and each subtree can be expanded independently
+// with a private interner. The calls below remain as the single-scan
+// REFERENCE expansion: a direct transcription of the serial BFS step that
+// the frontier engine must reproduce state for state (enforced by
+// tests/frontier_engine_test.cpp).
 
 /// One expanded BFS level: the deduplicated child classes plus the tree
 /// links back into the parent level.

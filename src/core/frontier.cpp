@@ -1,0 +1,327 @@
+#include "core/frontier.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+#include "ptg/reach.hpp"
+
+namespace topocon {
+
+namespace {
+
+std::size_t hash_words(const std::uint32_t* words, std::size_t count) {
+  // FNV-1a over the key words; the table caches the result per entry.
+  std::size_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < count; ++i) {
+    h ^= words[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+int WordSeqIndex::intern(const std::uint32_t* words, std::size_t count,
+                         bool* inserted) {
+  if (slots_.empty()) {
+    slots_.assign(64, -1);
+  } else if ((entries_.size() + 1) * 10 > slots_.size() * 7) {
+    grow();
+  }
+  const std::size_t hash = hash_words(words, count);
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t pos = hash & mask;
+  while (true) {
+    const int e = slots_[pos];
+    if (e < 0) {
+      const auto id = static_cast<int>(entries_.size());
+      Entry entry;
+      entry.offset = pool_.size();
+      entry.count = static_cast<std::uint32_t>(count);
+      entry.hash = hash;
+      pool_.insert(pool_.end(), words, words + count);
+      entries_.push_back(entry);
+      slots_[pos] = id;
+      *inserted = true;
+      return id;
+    }
+    const Entry& entry = entries_[static_cast<std::size_t>(e)];
+    if (entry.hash == hash && entry.count == count &&
+        std::memcmp(pool_.data() + entry.offset, words,
+                    count * sizeof(std::uint32_t)) == 0) {
+      *inserted = false;
+      return e;
+    }
+    pos = (pos + 1) & mask;
+  }
+}
+
+void WordSeqIndex::grow() {
+  std::vector<int> next(slots_.size() * 2, -1);
+  const std::size_t mask = next.size() - 1;
+  for (std::size_t e = 0; e < entries_.size(); ++e) {
+    std::size_t pos = entries_[e].hash & mask;
+    while (next[pos] >= 0) pos = (pos + 1) & mask;
+    next[pos] = static_cast<int>(e);
+  }
+  slots_ = std::move(next);
+}
+
+FrontierEngine::FrontierEngine(const MessageAdversary& adversary,
+                               const AnalysisOptions& options,
+                               ViewInterner& interner, int first_root,
+                               int last_root)
+    : adversary_(&adversary), options_(options), interner_(&interner) {
+  frontier_ =
+      initial_frontier(adversary, options, interner, first_root, last_root);
+  level_sizes_.push_back(frontier_.size());
+  if (options_.keep_levels) {
+    levels_.push_back(frontier_);
+    first_parent_.push_back(
+        std::vector<std::pair<int, int>>(frontier_.size(), {-1, -1}));
+  }
+}
+
+std::vector<FrontierChunk> FrontierEngine::partition(
+    std::size_t chunk_states) const {
+  const std::size_t size = frontier_.size();
+  if (chunk_states == 0 || size <= chunk_states) {
+    return {FrontierChunk{0, size}};
+  }
+  std::vector<FrontierChunk> chunks;
+  chunks.reserve((size + chunk_states - 1) / chunk_states);
+  for (std::size_t begin = 0; begin < size; begin += chunk_states) {
+    chunks.push_back(
+        FrontierChunk{begin, std::min(begin + chunk_states, size)});
+  }
+  return chunks;
+}
+
+PendingFrontier FrontierEngine::expand(const FrontierChunk& chunk,
+                                       FrontierBudget* budget) const {
+  assert(chunk.begin <= chunk.end && chunk.end <= frontier_.size());
+  const MessageAdversary& adversary = *adversary_;
+  const int n = adversary.num_processes();
+  PendingFrontier out;
+  out.chunk = chunk;
+  if (budget != nullptr && budget->exceeded()) {
+    // Another chunk already tripped the level budget; this chunk's work
+    // would be discarded, so don't do it.
+    out.overflow = true;
+    return out;
+  }
+  if (options_.keep_levels) out.children.resize(chunk.end - chunk.begin);
+  // Scratch keys, reused across emissions: no per-emission allocation.
+  std::vector<std::uint32_t> view_key;
+  view_key.reserve(static_cast<std::size_t>(n) + 2);
+  std::vector<std::uint32_t> state_key(static_cast<std::size_t>(n) + 1);
+
+  std::size_t reported = 0;
+  for (std::size_t i = chunk.begin; i < chunk.end && !out.overflow; ++i) {
+    if (budget != nullptr && i > chunk.begin) {
+      if (!budget->add(out.states.size() - reported)) {
+        out.overflow = true;
+        break;
+      }
+      reported = out.states.size();
+    }
+    const PrefixState& parent = frontier_[i];
+    for (int letter = 0; letter < adversary.alphabet_size(); ++letter) {
+      const AdvState adv_next = adversary.transition(parent.adv_state, letter);
+      if (adv_next == kRejectState) continue;
+      const Digraph& g = adversary.graph(letter);
+      for (int q = 0; q < n; ++q) {
+        const NodeMask mask = g.in_mask(static_cast<ProcessId>(q));
+        view_key.clear();
+        view_key.push_back(static_cast<std::uint32_t>(q));
+        view_key.push_back(mask);
+        NodeMask rest = mask;
+        while (rest != 0) {
+          const int p = std::countr_zero(rest);
+          rest &= rest - 1;
+          view_key.push_back(static_cast<std::uint32_t>(
+              parent.views[static_cast<std::size_t>(p)]));
+        }
+        bool view_inserted;
+        state_key[static_cast<std::size_t>(q) + 1] =
+            static_cast<std::uint32_t>(out.views.intern(
+                view_key.data(), view_key.size(), &view_inserted));
+      }
+      state_key[0] = static_cast<std::uint32_t>(adv_next);
+      bool inserted;
+      const int index = out.state_index.intern(state_key.data(),
+                                               state_key.size(), &inserted);
+      if (inserted) {
+        PendingState state;
+        state.inputs = parent.inputs;
+        state.reach = advance_reach(parent.reach, g);
+        state.adv_state = adv_next;
+        state.multiplicity = parent.multiplicity;
+        state.parent = static_cast<int>(i);
+        state.letter = letter;
+        out.states.push_back(std::move(state));
+        if (out.states.size() > options_.max_states) {
+          out.overflow = true;
+          break;
+        }
+      } else {
+        out.states[static_cast<std::size_t>(index)].multiplicity +=
+            parent.multiplicity;
+      }
+      if (options_.keep_levels) {
+        // A parent can reach one class via several letters; filter the
+        // repeats like the serial scan does.
+        std::vector<int>& kids = out.children[i - chunk.begin];
+        if (std::find(kids.begin(), kids.end(), index) == kids.end()) {
+          kids.push_back(index);
+        }
+      }
+    }
+  }
+  if (budget != nullptr && !out.overflow &&
+      !budget->add(out.states.size() - reported)) {
+    out.overflow = true;
+  }
+  return out;
+}
+
+PendingFrontier FrontierEngine::merge(
+    std::vector<PendingFrontier> chunks) const {
+  for (const PendingFrontier& chunk : chunks) {
+    if (chunk.overflow) {
+      PendingFrontier level;
+      level.overflow = true;
+      return level;
+    }
+  }
+  if (chunks.size() == 1) {
+    // The single chunk covered the whole frontier: its dedup is already
+    // global and its parent indexing is the frontier's.
+    return std::move(chunks.front());
+  }
+
+  PendingFrontier level;
+  level.chunk = FrontierChunk{0, frontier_.size()};
+  if (options_.keep_levels) level.children.resize(frontier_.size());
+  std::vector<int> view_remap;
+  std::vector<int> state_remap;
+  std::vector<std::uint32_t> state_key;
+  for (PendingFrontier& chunk : chunks) {
+    // Re-key the chunk's distinct views in the merged view table (one
+    // long-key lookup per distinct view, not per state).
+    view_remap.assign(chunk.views.size(), -1);
+    for (std::size_t v = 0; v < chunk.views.size(); ++v) {
+      bool inserted;
+      view_remap[v] = level.views.intern(
+          chunk.views.words_of(static_cast<int>(v)),
+          chunk.views.count_of(static_cast<int>(v)), &inserted);
+    }
+    state_remap.assign(chunk.states.size(), -1);
+    for (std::size_t s = 0; s < chunk.states.size(); ++s) {
+      const std::uint32_t* words =
+          chunk.state_index.words_of(static_cast<int>(s));
+      const std::size_t count = chunk.state_index.count_of(static_cast<int>(s));
+      state_key.assign(words, words + count);
+      for (std::size_t q = 1; q < count; ++q) {
+        state_key[q] = static_cast<std::uint32_t>(
+            view_remap[static_cast<std::size_t>(words[q])]);
+      }
+      bool inserted;
+      const int index = level.state_index.intern(state_key.data(),
+                                                 state_key.size(), &inserted);
+      state_remap[s] = index;
+      if (inserted) {
+        level.states.push_back(std::move(chunk.states[s]));
+        if (level.states.size() > options_.max_states) {
+          level.overflow = true;
+          return level;
+        }
+      } else {
+        level.states[static_cast<std::size_t>(index)].multiplicity +=
+            chunk.states[s].multiplicity;
+      }
+    }
+    if (options_.keep_levels) {
+      for (std::size_t p = 0; p < chunk.children.size(); ++p) {
+        // Distinct chunk-local classes stay distinct after the merge, so
+        // the per-parent lists need only remapping, not re-dedup.
+        std::vector<int>& kids = level.children[chunk.chunk.begin + p];
+        kids.reserve(chunk.children[p].size());
+        for (const int child : chunk.children[p]) {
+          kids.push_back(state_remap[static_cast<std::size_t>(child)]);
+        }
+      }
+    }
+  }
+  return level;
+}
+
+void FrontierEngine::commit(PendingFrontier level) {
+  assert(!level.overflow && "commit of an overflowed level");
+  // Sequential hand-off: commits of one engine happen one at a time but
+  // possibly from different pool threads across levels.
+  interner_->attach_to_current_thread();
+  const int n = adversary_->num_processes();
+  std::vector<PrefixState> next;
+  next.reserve(level.states.size());
+  std::vector<std::pair<int, int>> parents;
+  parents.reserve(level.states.size());
+  // Each distinct pending view is interned exactly once, on first use;
+  // states are walked in merged (= serial discovery) order and views in
+  // process order, so ids are assigned in the serial scan's order.
+  std::vector<ViewId> resolved(level.views.size(), -1);
+  std::vector<ViewId> senders;
+  for (std::size_t s = 0; s < level.states.size(); ++s) {
+    PendingState& state = level.states[s];
+    const std::uint32_t* key = level.state_index.words_of(static_cast<int>(s));
+    PrefixState out;
+    out.inputs = std::move(state.inputs);
+    out.reach = std::move(state.reach);
+    out.adv_state = state.adv_state;
+    out.multiplicity = state.multiplicity;
+    out.views.resize(static_cast<std::size_t>(n));
+    for (int q = 0; q < n; ++q) {
+      const auto v = static_cast<std::size_t>(key[static_cast<std::size_t>(q) + 1]);
+      ViewId& id = resolved[v];
+      if (id < 0) {
+        const std::uint32_t* words = level.views.words_of(static_cast<int>(v));
+        const std::size_t count = level.views.count_of(static_cast<int>(v));
+        senders.clear();
+        for (std::size_t k = 2; k < count; ++k) {
+          senders.push_back(static_cast<ViewId>(words[k]));
+        }
+        id = interner_->step(static_cast<ProcessId>(words[0]),
+                             static_cast<NodeMask>(words[1]), senders);
+      }
+      out.views[static_cast<std::size_t>(q)] = id;
+    }
+    next.push_back(std::move(out));
+    parents.emplace_back(state.parent, state.letter);
+  }
+  frontier_ = std::move(next);
+  ++level_;
+  level_sizes_.push_back(frontier_.size());
+  if (options_.keep_levels) {
+    children_.push_back(std::move(level.children));
+    levels_.push_back(frontier_);
+    first_parent_.push_back(std::move(parents));
+  }
+}
+
+bool FrontierEngine::advance(std::size_t chunk_states) {
+  std::vector<PendingFrontier> expansions;
+  for (const FrontierChunk& chunk : partition(chunk_states)) {
+    expansions.push_back(expand(chunk));
+  }
+  PendingFrontier level = merge(std::move(expansions));
+  if (level.overflow) {
+    truncated_ = true;
+    return false;
+  }
+  commit(std::move(level));
+  return true;
+}
+
+}  // namespace topocon

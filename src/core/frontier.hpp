@@ -1,0 +1,262 @@
+// The frontier engine: the per-level BFS expansion of the depth-t
+// epsilon-approximation (Definition 6.2), exposed as ordered chunks so
+// callers can shard one level's work below the input-vector root.
+//
+// The engine owns one shard of the prefix space -- a contiguous range of
+// input-vector roots with a dedicated ViewInterner -- and expands it one
+// level at a time in three phases:
+//
+//   partition  the current frontier is cut into deterministic chunks of
+//              at most `chunk_states` parents, in frontier order;
+//   expand     each chunk is expanded by one letter with chunk-local
+//              deduplication. Expansion is *interner-free*: a child view
+//              is recorded as its pending (process, round in-mask,
+//              parent-level sender ids) word sequence, which is exactly
+//              the structural identity ViewInterner::step interns -- two
+//              children are equal iff their pending views are equal.
+//              Pending views are deduplicated chunk-locally so state
+//              dedup keys are short (one word per process), and no
+//              shared state is written, so any number of chunks of one
+//              engine may expand concurrently on different threads;
+//   merge +    chunk results are deduplicated across chunks in chunk
+//   commit     order (first discovery wins, multiplicities sum) and only
+//              then interned: commit resolves each distinct pending view
+//              exactly once, in first-use order. Because chunk order is
+//              frontier order, the merged level -- states, first_parent
+//              links, children links, multiplicities, and even the
+//              interner's id assignment order -- is identical to what a
+//              single serial scan of the whole frontier produces, for
+//              EVERY chunk size. Chunking is an execution detail that
+//              can never change a result.
+//
+// merge() is separated from commit() so a caller coordinating several
+// engines (runtime/sweep/parallel_solver.*) can apply the global
+// truncation budget to the sum of the pending level sizes BEFORE any
+// interner mutation happens: an overflowing level leaves every interner
+// exactly as if the level had never been attempted, matching the serial
+// checker's truncation semantics bit for bit.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "core/epsilon_approx.hpp"
+#include "ptg/view_intern.hpp"
+
+namespace topocon {
+
+/// One deterministic slice [begin, end) of a frontier, in frontier order.
+struct FrontierChunk {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Append-only open-addressed map from word sequences (dedup keys) to
+/// dense indices, with the key material owned by the table -- the
+/// allocation-free workhorse behind pending-view and pending-state
+/// deduplication. Exposed here only because PendingFrontier embeds two.
+class WordSeqIndex {
+ public:
+  /// Index of the key `words[0..count)`, inserting it if absent;
+  /// `*inserted` reports which happened.
+  int intern(const std::uint32_t* words, std::size_t count, bool* inserted);
+
+  std::size_t size() const { return entries_.size(); }
+  const std::uint32_t* words_of(int index) const {
+    return pool_.data() + entries_[static_cast<std::size_t>(index)].offset;
+  }
+  std::size_t count_of(int index) const {
+    return entries_[static_cast<std::size_t>(index)].count;
+  }
+
+ private:
+  struct Entry {
+    std::size_t offset = 0;
+    std::uint32_t count = 0;
+    std::size_t hash = 0;
+  };
+  void grow();
+
+  std::vector<std::uint32_t> pool_;
+  std::vector<Entry> entries_;
+  /// Power-of-two probe table of entry indices; -1 = empty.
+  std::vector<int> slots_;
+};
+
+/// Per-state metadata of a pending (not yet interned) level; the view
+/// data lives in the PendingFrontier tables.
+struct PendingState {
+  InputVector inputs;
+  ReachVector reach;
+  AdvState adv_state = 0;
+  std::uint64_t multiplicity = 1;
+  /// Frontier index and letter of the first discovery.
+  int parent = -1;
+  int letter = -1;
+};
+
+/// One expanded-but-not-yet-interned level slice: the output of
+/// expand() (covering one chunk) and of merge() (covering the whole
+/// frontier). Views are stored as chunk-local dedup indices into
+/// `views`, whose key words are [process, mask, senders...] with sender
+/// ids referring to the PARENT level's interned views.
+struct PendingFrontier {
+  FrontierChunk chunk;
+  std::vector<PendingState> states;
+  /// Distinct pending views of this slice; key words of view v are
+  /// [process, mask, senders...].
+  WordSeqIndex views;
+  /// State dedup table, parallel to `states`: key words of state s are
+  /// [adv_state, view index of process 0, ..., view index of n-1].
+  WordSeqIndex state_index;
+  /// children[i - chunk.begin] = local child indices of frontier parent
+  /// i, in discovery order; filled only under keep_levels.
+  std::vector<std::vector<int>> children;
+  /// True iff the slice exceeded max_states (states incomplete).
+  bool overflow = false;
+};
+
+/// Shared early-abort accumulator for one level's concurrent chunk
+/// expansions: chunks report their dedup growth and stop once the
+/// running total exceeds the per-level state cap, so a level that is
+/// going to overflow costs O(max_states) instead of a full expansion.
+/// NOTE: chunk-local counts can overcount the merged level (chunks of
+/// one root may discover the same class), so a tripped budget is a
+/// signal to fall back to exact accounting -- one chunk per root, whose
+/// counts are exact because roots never share classes -- NOT an
+/// overflow verdict by itself. runtime/sweep/parallel_solver.cpp
+/// implements that two-pass protocol.
+class FrontierBudget {
+ public:
+  explicit FrontierBudget(std::size_t max_states)
+      : max_states_(max_states) {}
+
+  /// Reports `delta` newly discovered states; returns false once the
+  /// running total exceeds the cap.
+  bool add(std::size_t delta) {
+    return total_.fetch_add(delta, std::memory_order_relaxed) + delta <=
+           max_states_;
+  }
+  bool exceeded() const {
+    return total_.load(std::memory_order_relaxed) > max_states_;
+  }
+
+ private:
+  std::atomic<std::size_t> total_{0};
+  const std::size_t max_states_;
+};
+
+/// Streaming progress of a chunked expansion: fired once per completed
+/// chunk of the level currently being expanded. Purely observational --
+/// results never depend on it -- and the completion ORDER of chunks is
+/// thread-count-dependent; consumers may rely only on the counters.
+struct ChunkProgress {
+  /// Target depth of the analysis pass this level belongs to.
+  int depth = 0;
+  /// Level being expanded (1..depth).
+  int level = 0;
+  std::size_t chunks_done = 0;
+  std::size_t chunks_total = 0;
+  /// Total states of the frontier being expanded (all shards).
+  std::size_t frontier_states = 0;
+};
+using ChunkProgressFn = std::function<void(const ChunkProgress&)>;
+
+/// One shard of the chunked BFS (see the header comment).
+class FrontierEngine {
+ public:
+  /// Initializes the level-0 frontier: one class per input vector with
+  /// dense index in [first_root, last_root). Mutates `interner` (which
+  /// must outlive the engine), like every commit() does.
+  FrontierEngine(const MessageAdversary& adversary,
+                 const AnalysisOptions& options, ViewInterner& interner,
+                 int first_root, int last_root);
+
+  /// Depth expanded so far (0 right after construction).
+  int level() const { return level_; }
+  /// True once a level overflowed max_states; the frontier then still
+  /// holds the last complete level.
+  bool truncated() const { return truncated_; }
+  const std::vector<PrefixState>& frontier() const { return frontier_; }
+
+  /// Deterministic partition of the current frontier into chunks of at
+  /// most `chunk_states` parents (0 = one chunk). Never empty: an empty
+  /// frontier yields one empty chunk.
+  std::vector<FrontierChunk> partition(std::size_t chunk_states) const;
+
+  /// Expands one chunk by one letter with chunk-local dedup. Read-only:
+  /// chunks of one engine may be expanded concurrently. When `budget` is
+  /// given the chunk reports its growth there and aborts (overflow set)
+  /// once the shared total trips -- see FrontierBudget for the exactness
+  /// caveat.
+  PendingFrontier expand(const FrontierChunk& chunk,
+                         FrontierBudget* budget = nullptr) const;
+
+  /// Deduplicates the chunk expansions -- which must be all chunks of
+  /// the current frontier, in partition order -- across chunks. Does not
+  /// touch the interner or the engine. A single chunk passes through.
+  PendingFrontier merge(std::vector<PendingFrontier> chunks) const;
+
+  /// Interns the pending views (each distinct view once, in first-use
+  /// order -- the id assignment order of a serial scan) and installs the
+  /// level as the new frontier. Must not be called with an overflowed
+  /// level. Re-binds the interner to the calling thread (sequential
+  /// hand-off); at most one commit per engine may run at a time.
+  void commit(PendingFrontier level);
+
+  /// Records that the next level overflowed (the caller decided via the
+  /// global budget); the frontier keeps the last complete level.
+  void mark_truncated() { truncated_ = true; }
+
+  /// Serial convenience: partition + expand + merge + commit in one
+  /// call. Returns false (and marks truncated) on overflow.
+  bool advance(std::size_t chunk_states = 0);
+
+  /// Sizes of every committed level, 0..level().
+  const std::vector<std::size_t>& level_sizes() const { return level_sizes_; }
+
+  // History, recorded only under options.keep_levels; indexed like the
+  // corresponding DepthAnalysis members restricted to this shard.
+  const std::vector<std::vector<PrefixState>>& levels() const {
+    return levels_;
+  }
+  const std::vector<std::vector<std::pair<int, int>>>& first_parent() const {
+    return first_parent_;
+  }
+  const std::vector<std::vector<std::vector<int>>>& children() const {
+    return children_;
+  }
+
+  // Move-out variants for building a DepthAnalysis from a finished
+  // engine without copying multi-million-state histories; the engine is
+  // done afterwards (history empty, frontier moved from).
+  std::vector<std::vector<PrefixState>> take_levels() {
+    return std::move(levels_);
+  }
+  std::vector<std::vector<std::pair<int, int>>> take_first_parent() {
+    return std::move(first_parent_);
+  }
+  std::vector<std::vector<std::vector<int>>> take_children() {
+    return std::move(children_);
+  }
+  std::vector<PrefixState> take_frontier() { return std::move(frontier_); }
+
+ private:
+  const MessageAdversary* adversary_;
+  AnalysisOptions options_;
+  ViewInterner* interner_;
+  std::vector<PrefixState> frontier_;
+  int level_ = 0;
+  bool truncated_ = false;
+  std::vector<std::size_t> level_sizes_;
+  std::vector<std::vector<PrefixState>> levels_;
+  std::vector<std::vector<std::pair<int, int>>> first_parent_;
+  std::vector<std::vector<std::vector<int>>> children_;
+};
+
+}  // namespace topocon

@@ -191,23 +191,6 @@ std::optional<JobKind> parse_job_kind(std::string_view name) {
   return std::nullopt;
 }
 
-SweepJob solvability_job(const FamilyPoint& point,
-                         const SolvabilityOptions& options) {
-  SweepJob job;
-  job.point = point;
-  job.kind = JobKind::kSolvability;
-  job.solve = options;
-  return job;
-}
-
-SweepJob series_job(const FamilyPoint& point, const AnalysisOptions& options) {
-  SweepJob job;
-  job.point = point;
-  job.kind = JobKind::kDepthSeries;
-  job.analysis = options;
-  return job;
-}
-
 void set_default_num_threads(int threads) {
   g_default_threads.store(threads, std::memory_order_relaxed);
 }
@@ -239,6 +222,13 @@ std::vector<JobOutcome> run_sweep_on(const SweepSpec& spec, ThreadPool& pool,
         hooks.on_depth(j, stats);
       };
     }
+    ShardingOptions sharding;
+    if (hooks.on_chunk) {
+      sharding.on_chunk = [&, j](const ChunkProgress& progress) {
+        const std::lock_guard<std::mutex> lock(hook_mutex);
+        hooks.on_chunk(j, progress);
+      };
+    }
     const auto start = std::chrono::steady_clock::now();
     const std::unique_ptr<MessageAdversary> adversary =
         make_family_adversary(job.point);
@@ -246,16 +236,16 @@ std::vector<JobOutcome> run_sweep_on(const SweepSpec& spec, ThreadPool& pool,
         job.kind == JobKind::kDecisionTable) {
       SolvabilityOptions solve = job.solve;
       if (job.kind == JobKind::kDecisionTable) solve.build_table = true;
-      outcome.result =
-          parallel_check_solvability(*adversary, solve, pool, on_depth);
+      outcome.result = parallel_check_solvability(*adversary, solve, pool,
+                                                  on_depth, sharding);
     } else {
       auto interner = std::make_shared<ViewInterner>();
       for (int depth = 1; depth <= job.analysis.depth; ++depth) {
         AnalysisOptions per_depth = job.analysis;
         per_depth.depth = depth;
         per_depth.keep_levels = false;
-        const DepthAnalysis analysis =
-            parallel_analyze_depth(*adversary, per_depth, pool, interner);
+        const DepthAnalysis analysis = parallel_analyze_depth(
+            *adversary, per_depth, pool, interner, sharding);
         if (analysis.truncated) break;
         DepthStats stats;
         stats.depth = depth;
@@ -291,17 +281,6 @@ std::vector<JobOutcome> run_sweep_on(const SweepSpec& spec, ThreadPool& pool,
     if (outcome.result.table.has_value()) {
       outcome.result.table->interner()->attach_to_current_thread();
     }
-  }
-  return outcomes;
-}
-
-std::vector<JobOutcome> run_sweep(const SweepSpec& spec) {
-  const int threads =
-      spec.num_threads > 0 ? spec.num_threads : default_num_threads();
-  ThreadPool pool(threads);
-  std::vector<JobOutcome> outcomes = run_sweep_on(spec, pool);
-  if (spec.record) {
-    SweepRegistry::instance().record(spec.name, outcomes);
   }
   return outcomes;
 }

@@ -18,9 +18,9 @@
 // This header is the execution layer. The operator-facing surface is the
 // api facade (src/api/): api::Session owns the pool and the outcome
 // history for its lifetime and runs api::Query values -- the typed
-// tagged-union view of SweepJob -- through run_sweep_on below. The free
-// functions run_sweep / solvability_job / series_job predate the facade
-// and remain as deprecated shims.
+// tagged-union view of SweepJob -- through run_sweep_on below. (The
+// pre-facade free functions run_sweep / solvability_job / series_job
+// went through a deprecation cycle and are gone; phrase work as queries.)
 #pragma once
 
 #include <cstdint>
@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "adversary/family.hpp"
+#include "core/frontier.hpp"
 #include "core/solvability.hpp"
 #include "runtime/sweep/json.hpp"
 
@@ -70,17 +71,6 @@ struct SweepJob {
   AnalysisOptions analysis;
 };
 
-/// A named grid point turned into a solvability job.
-[[deprecated(
-    "use api::solvability() and api::Session (src/api/api.hpp)")]] SweepJob
-solvability_job(const FamilyPoint& point,
-                const SolvabilityOptions& options = {});
-
-/// A named grid point turned into a depth-series job.
-[[deprecated(
-    "use api::depth_series() and api::Session (src/api/api.hpp)")]] SweepJob
-series_job(const FamilyPoint& point, const AnalysisOptions& options);
-
 struct JobOutcome {
   std::string family;
   std::string label;
@@ -99,52 +89,44 @@ struct SweepSpec {
   /// Name under which the outcomes are recorded (JSON "name" field).
   std::string name;
   std::vector<SweepJob> jobs;
-  /// 0 = default_num_threads(). Only read by run_sweep; run_sweep_on
-  /// executes on the pool it is handed.
-  int num_threads = 0;
-  /// Record outcomes in the global SweepRegistry (for --sweep-json).
-  bool record = true;
   /// Incremental-checkpoint hook: invoked as each job finishes, with its
   /// index into `jobs` and the finished outcome. Calls are serialized by
   /// an engine-internal mutex but arrive in completion order, which
   /// depends on the thread count -- checkpoint consumers must therefore
   /// key on the job index, never on arrival order. Superseded by
   /// SweepHooks::on_job_done (api::Observer); kept for compatibility and
-  /// honored by both entry points.
+  /// honored alongside it.
   std::function<void(std::size_t, const JobOutcome&)> on_job_done;
 };
 
 /// Streaming hooks into a running sweep -- the engine-level form of
-/// api::Observer. All three are invoked under one engine-internal mutex
-/// (so implementations need no locking of their own) but in completion
-/// order: only on_depth calls of the SAME job are ordered relative to
-/// each other, and a job's on_job_done follows all its on_depth calls.
-/// Consumers must key on the job index, never on arrival order.
+/// api::Observer. All are invoked under one engine-internal mutex (so
+/// implementations need no locking of their own) but in completion
+/// order: only on_depth/on_chunk calls of the SAME job are ordered
+/// relative to each other, and a job's on_job_done follows all its other
+/// calls. Consumers must key on the job index, never on arrival order.
 struct SweepHooks {
   std::function<void(std::size_t, const SweepJob&)> on_job_start;
   std::function<void(std::size_t, const DepthStats&)> on_depth;
+  /// Per-chunk expansion progress inside a job's current depth pass
+  /// (core/frontier.hpp) -- the finest-grained signal, intended for
+  /// progress display. Counters only; chunk completion order is
+  /// thread-count-dependent.
+  std::function<void(std::size_t, const ChunkProgress&)> on_chunk;
   std::function<void(std::size_t, const JobOutcome&)> on_job_done;
 };
 
-/// Runs all jobs of the spec on an existing pool (spec.num_threads is
-/// ignored). Outcomes are indexed like spec.jobs; interners inside the
-/// outcomes are re-homed to the calling thread. Does NOT record into the
-/// global registry -- callers that retain outcomes do so themselves
-/// (api::Session records into its own history).
+/// Runs all jobs of the spec on an existing pool. Outcomes are indexed
+/// like spec.jobs; interners inside the outcomes are re-homed to the
+/// calling thread. Does NOT record into the global registry -- callers
+/// that retain outcomes do so themselves (api::Session records into its
+/// own history). Inside every job the expansion is chunk-sharded with
+/// the process-default chunk size (parallel_solver.hpp).
 std::vector<JobOutcome> run_sweep_on(const SweepSpec& spec, ThreadPool& pool,
                                      const SweepHooks& hooks = {});
 
-/// Legacy one-shot driver: builds a private pool of spec.num_threads,
-/// runs the spec, and records into the global SweepRegistry when
-/// spec.record. Each call pays pool construction and teardown -- the
-/// facade's Session amortizes that across runs.
-[[deprecated(
-    "use api::Session::run (src/api/api.hpp); Session owns the pool across "
-    "runs")]] std::vector<JobOutcome>
-run_sweep(const SweepSpec& spec);
-
-/// Default thread count for SweepSpec.num_threads == 0 and for examples:
-/// set from --sweep-threads; 0 (the initial value) resolves to
+/// Default thread count for api::Session and the examples: set from
+/// --sweep-threads; 0 (the initial value) resolves to
 /// hardware_concurrency().
 void set_default_num_threads(int threads);
 int default_num_threads();

@@ -1,6 +1,9 @@
 #include "runtime/sweep/parallel_solver.hpp"
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -8,136 +11,192 @@ namespace topocon::sweep {
 
 namespace {
 
-// One root's expansion state: a private interner plus the recorded levels.
-// With keep_levels every level and its tree links are kept; otherwise only
-// the deepest complete level (the prospective leaves) and the per-level
-// sizes needed for the global truncation accounting.
-struct Shard {
-  ViewInterner interner;
-  std::vector<std::vector<PrefixState>> levels;
-  std::vector<std::vector<std::pair<int, int>>> first_parent;
-  std::vector<std::vector<std::vector<int>>> children;
-  std::vector<std::size_t> level_sizes;
-  /// Level whose expansion alone exceeded max_states; -1 if none.
-  int truncated_at = -1;
+std::atomic<std::size_t> g_default_chunk_states{0};
 
-  bool has_level(int s) const {
-    return truncated_at < 0 || s < truncated_at;
-  }
+// One root's engine plus the private interner it expands into. The
+// interner must outlive the engine and stay address-stable, hence the
+// two-member struct instead of engine-owned storage.
+struct RootShard {
+  ViewInterner interner;
+  std::optional<FrontierEngine> engine;
 };
 
-void expand_shard(const MessageAdversary& adversary,
-                  const AnalysisOptions& options, int root, int depth,
-                  Shard& shard) {
-  std::vector<PrefixState> current =
-      initial_frontier(adversary, options, shard.interner, root, root + 1);
-  shard.level_sizes.push_back(current.size());
-  if (options.keep_levels) {
-    shard.levels.push_back(current);
-    shard.first_parent.push_back(
-        std::vector<std::pair<int, int>>(current.size(), {-1, -1}));
-  }
-  for (int s = 1; s <= depth; ++s) {
-    FrontierLevel level =
-        expand_frontier(adversary, shard.interner, current,
-                        options.max_states, options.keep_levels);
-    if (level.overflow) {
-      shard.truncated_at = s;
-      break;
-    }
-    current = std::move(level.states);
-    shard.level_sizes.push_back(current.size());
-    if (options.keep_levels) {
-      shard.children.push_back(std::move(level.children));
-      shard.levels.push_back(current);
-      shard.first_parent.push_back(std::move(level.first_parent));
-    }
-  }
-  if (!options.keep_levels) {
-    shard.levels.push_back(std::move(current));
-  }
-}
-
-/// First level at which the *merged* expansion would exceed max_states
-/// (the serial overflow condition), or depth + 1 if none. A shard missing
-/// a level implies that level's total exceeds the budget too.
-int merged_cut(const std::vector<Shard>& shards, int depth,
-               std::size_t max_states) {
-  for (int s = 1; s <= depth; ++s) {
-    std::size_t total = 0;
-    for (const Shard& shard : shards) {
-      if (!shard.has_level(s)) return s;
-      total += shard.level_sizes[static_cast<std::size_t>(s)];
-    }
-    if (total > max_states) return s;
-  }
-  return depth + 1;
-}
-
 }  // namespace
+
+void set_default_chunk_states(std::size_t chunk_states) {
+  g_default_chunk_states.store(chunk_states, std::memory_order_relaxed);
+}
+
+std::size_t default_chunk_states() {
+  const std::size_t configured =
+      g_default_chunk_states.load(std::memory_order_relaxed);
+  return configured > 0 ? configured : kDefaultChunkStates;
+}
 
 DepthAnalysis parallel_analyze_depth(const MessageAdversary& adversary,
                                      const AnalysisOptions& options,
                                      ThreadPool& pool,
-                                     std::shared_ptr<ViewInterner> interner) {
+                                     std::shared_ptr<ViewInterner> interner,
+                                     const ShardingOptions& sharding) {
   const int n = adversary.num_processes();
   DepthAnalysis analysis;
   analysis.num_values = options.num_values;
   analysis.num_processes = n;
   analysis.interner =
       interner ? std::move(interner) : std::make_shared<ViewInterner>();
+  const std::size_t chunk_states = sharding.chunk_states > 0
+                                       ? sharding.chunk_states
+                                       : default_chunk_states();
 
-  const auto num_roots = static_cast<int>(
+  const auto num_roots = static_cast<std::size_t>(
       all_input_vectors(n, options.num_values).size());
 
-  // ---- Phase 1: expand every root to the requested depth.
-  std::vector<Shard> shards(static_cast<std::size_t>(num_roots));
-  pool.parallel_for(static_cast<std::size_t>(num_roots), [&](std::size_t r) {
-    expand_shard(adversary, options, static_cast<int>(r), options.depth,
-                 shards[r]);
+  // ---- Level 0: one engine (and private interner) per root.
+  std::vector<RootShard> shards(num_roots);
+  pool.parallel_for(num_roots, [&](std::size_t r) {
+    shards[r].engine.emplace(adversary, options, shards[r].interner,
+                             static_cast<int>(r), static_cast<int>(r) + 1);
   });
 
-  // ---- Truncation: cut at the first level whose merged size would have
-  // overflowed the serial BFS, and redo the (rare, shallower) expansion so
-  // every shard holds exactly the levels below the cut.
-  const int cut = merged_cut(shards, options.depth, options.max_states);
-  analysis.truncated = cut <= options.depth;
-  const int reached = analysis.truncated ? cut - 1 : options.depth;
-  if (analysis.truncated) {
-    std::vector<Shard> redone(static_cast<std::size_t>(num_roots));
-    pool.parallel_for(static_cast<std::size_t>(num_roots),
-                      [&](std::size_t r) {
-                        expand_shard(adversary, options, static_cast<int>(r),
-                                     reached, redone[r]);
-                      });
-    shards = std::move(redone);
+  // ---- Levels 1..depth, level-synchronous: expand all (root, chunk)
+  // work items of a level on the pool, merge per root in chunk order,
+  // apply the global state budget, then commit.
+  std::mutex progress_mutex;
+  for (int s = 1; s <= options.depth && !analysis.truncated; ++s) {
+    struct Item {
+      std::size_t root;
+      FrontierChunk chunk;
+    };
+    std::vector<Item> items;
+    // first_item[r] .. first_item[r + 1] are root r's chunks.
+    std::vector<std::size_t> first_item(num_roots + 1, 0);
+    std::size_t frontier_states = 0;
+    for (std::size_t r = 0; r < num_roots; ++r) {
+      first_item[r] = items.size();
+      frontier_states += shards[r].engine->frontier().size();
+      for (const FrontierChunk& chunk :
+           shards[r].engine->partition(chunk_states)) {
+        items.push_back(Item{r, chunk});
+      }
+    }
+    first_item[num_roots] = items.size();
+
+    const auto expand_items = [&](FrontierBudget* budget) {
+      std::vector<PendingFrontier> expansions(items.size());
+      std::size_t chunks_done = 0;
+      pool.parallel_for(items.size(), [&](std::size_t i) {
+        expansions[i] =
+            shards[items[i].root].engine->expand(items[i].chunk, budget);
+        if (sharding.on_chunk) {
+          const std::lock_guard<std::mutex> lock(progress_mutex);
+          ++chunks_done;
+          sharding.on_chunk(ChunkProgress{options.depth, s, chunks_done,
+                                          items.size(), frontier_states});
+        }
+      });
+      return expansions;
+    };
+
+    // Pass 1: chunked expansion under the shared level budget. When the
+    // budget trips, the level *probably* overflows -- but chunk-local
+    // counts can overcount the merged level (chunks of one root can
+    // discover the same class), so unless pass 1 was already exact (one
+    // chunk per root) the decision is re-derived in an exact pass 2 with
+    // root-granular chunks, whose counts cannot overcount. Both passes
+    // abort early once max_states is provably exceeded, so a doomed
+    // level costs O(max_states), like the serial scan.
+    FrontierBudget budget(options.max_states);
+    std::vector<PendingFrontier> expansions = expand_items(&budget);
+    bool tripped = budget.exceeded();
+    for (const PendingFrontier& expansion : expansions) {
+      tripped |= expansion.overflow;
+    }
+    if (tripped && items.size() != num_roots) {
+      expansions.clear();
+      expansions.shrink_to_fit();
+      items.clear();
+      for (std::size_t r = 0; r < num_roots; ++r) {
+        first_item[r] = r;
+        items.push_back(
+            Item{r, FrontierChunk{0, shards[r].engine->frontier().size()}});
+      }
+      first_item[num_roots] = num_roots;
+      FrontierBudget exact_budget(options.max_states);
+      expansions = expand_items(&exact_budget);
+      tripped = exact_budget.exceeded();
+      for (const PendingFrontier& expansion : expansions) {
+        tripped |= expansion.overflow;
+      }
+    }
+    if (tripped) {
+      // Exact by now: root-granular counts never overcount, so a
+      // tripped budget or an overflowed chunk means the merged level
+      // exceeds max_states -- the serial truncation condition.
+      analysis.truncated = true;
+      pool.parallel_for(num_roots, [&](std::size_t r) {
+        shards[r].engine->mark_truncated();
+      });
+      break;
+    }
+
+    std::vector<PendingFrontier> pending(num_roots);
+    pool.parallel_for(num_roots, [&](std::size_t r) {
+      std::vector<PendingFrontier> mine(
+          std::make_move_iterator(expansions.begin() +
+                                  static_cast<std::ptrdiff_t>(first_item[r])),
+          std::make_move_iterator(
+              expansions.begin() +
+              static_cast<std::ptrdiff_t>(first_item[r + 1])));
+      pending[r] = shards[r].engine->merge(std::move(mine));
+    });
+
+    // The serial overflow condition on the merged level, checked before
+    // any interner mutation (see the header comment). With the budget
+    // not tripped this cannot fire (sum of chunk counts <= max_states
+    // bounds the merged size); kept as a safety net.
+    std::size_t total = 0;
+    bool overflow = false;
+    for (const PendingFrontier& level : pending) {
+      overflow |= level.overflow;
+      total += level.states.size();
+    }
+    if (overflow || total > options.max_states) {
+      analysis.truncated = true;
+      pool.parallel_for(num_roots, [&](std::size_t r) {
+        shards[r].engine->mark_truncated();
+      });
+      break;
+    }
+    pool.parallel_for(num_roots, [&](std::size_t r) {
+      shards[r].engine->commit(std::move(pending[r]));
+    });
   }
+  const int reached = shards.empty() ? 0 : shards.front().engine->level();
   analysis.depth = reached;
 
   // ---- Deterministic merge, in root order.
-  std::vector<std::vector<ViewId>> remap(
-      static_cast<std::size_t>(num_roots));
-  for (std::size_t r = 0; r < shards.size(); ++r) {
+  std::vector<std::vector<ViewId>> remap(num_roots);
+  for (std::size_t r = 0; r < num_roots; ++r) {
     remap[r] = analysis.interner->absorb(shards[r].interner);
   }
   // offsets[s][r] = index offset of shard r within merged level s.
   const auto offsets_of = [&](int s) {
-    std::vector<int> offsets(shards.size() + 1, 0);
-    for (std::size_t r = 0; r < shards.size(); ++r) {
-      const std::size_t local =
-          options.keep_levels
-              ? shards[r].levels[static_cast<std::size_t>(s)].size()
-              : shards[r].levels.back().size();
-      offsets[r + 1] = offsets[r] + static_cast<int>(local);
+    std::vector<int> offsets(num_roots + 1, 0);
+    for (std::size_t r = 0; r < num_roots; ++r) {
+      offsets[r + 1] =
+          offsets[r] +
+          static_cast<int>(
+              shards[r].engine->level_sizes()[static_cast<std::size_t>(s)]);
     }
     return offsets;
   };
   const auto merge_level = [&](int s) {
     std::vector<PrefixState> merged;
-    for (std::size_t r = 0; r < shards.size(); ++r) {
+    for (std::size_t r = 0; r < num_roots; ++r) {
+      const FrontierEngine& engine = *shards[r].engine;
       const std::vector<PrefixState>& local =
-          options.keep_levels ? shards[r].levels[static_cast<std::size_t>(s)]
-                              : shards[r].levels.back();
+          options.keep_levels ? engine.levels()[static_cast<std::size_t>(s)]
+                              : engine.frontier();
       for (const PrefixState& state : local) {
         PrefixState copy = state;
         for (ViewId& id : copy.views) {
@@ -156,9 +215,9 @@ DepthAnalysis parallel_analyze_depth(const MessageAdversary& adversary,
     for (int s = 0; s <= reached; ++s) {
       analysis.levels.push_back(merge_level(s));
       std::vector<std::pair<int, int>> parents;
-      for (std::size_t r = 0; r < shards.size(); ++r) {
+      for (std::size_t r = 0; r < num_roots; ++r) {
         for (const auto& [parent, letter] :
-             shards[r].first_parent[static_cast<std::size_t>(s)]) {
+             shards[r].engine->first_parent()[static_cast<std::size_t>(s)]) {
           parents.emplace_back(
               parent < 0 ? -1 : parent + offsets[static_cast<std::size_t>(
                                               s - 1)][r],
@@ -169,9 +228,9 @@ DepthAnalysis parallel_analyze_depth(const MessageAdversary& adversary,
     }
     for (int s = 0; s < reached; ++s) {
       std::vector<std::vector<int>> kids;
-      for (std::size_t r = 0; r < shards.size(); ++r) {
+      for (std::size_t r = 0; r < num_roots; ++r) {
         for (const std::vector<int>& local :
-             shards[r].children[static_cast<std::size_t>(s)]) {
+             shards[r].engine->children()[static_cast<std::size_t>(s)]) {
           std::vector<int> shifted;
           shifted.reserve(local.size());
           for (const int child : local) {
@@ -193,15 +252,17 @@ DepthAnalysis parallel_analyze_depth(const MessageAdversary& adversary,
 
 SolvabilityResult parallel_check_solvability(
     const MessageAdversary& adversary, const SolvabilityOptions& options,
-    ThreadPool& pool, const DepthProgressFn& on_depth) {
+    ThreadPool& pool, const DepthProgressFn& on_depth,
+    const ShardingOptions& sharding) {
   // Same iterative-deepening driver as the serial checker; only the
   // per-depth analysis is swapped for the sharded one.
   return check_solvability_with(
       adversary, options,
-      [&adversary, &pool](const AnalysisOptions& analysis_options,
-                          const std::shared_ptr<ViewInterner>& interner) {
+      [&adversary, &pool, &sharding](
+          const AnalysisOptions& analysis_options,
+          const std::shared_ptr<ViewInterner>& interner) {
         return parallel_analyze_depth(adversary, analysis_options, pool,
-                                      interner);
+                                      interner, sharding);
       },
       on_depth);
 }

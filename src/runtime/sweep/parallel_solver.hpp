@@ -1,54 +1,92 @@
-// Root-sharded parallel depth-t epsilon-approximation.
+// Chunk-sharded parallel depth-t epsilon-approximation.
 //
-// Exactness of the sharding (see also the frontier API notes in
-// core/epsilon_approx.hpp): the BFS dedup key contains every process view
-// and views contain their own inputs, so prefix classes of different
-// input vectors never merge. The depth-t prefix space is therefore the
-// disjoint union of one independent subtree per input vector ("root"),
-// and the serial BFS -- which scans parents in order -- enumerates every
-// level in root-major order. Expanding each root in its own shard with a
-// private ViewInterner and concatenating the shard levels in root order
-// hence reproduces the serial analysis *exactly*: same classes, same
-// order, same multiplicities, same components and flags. The only
+// Work distribution is two-dimensional. The prefix space splits exactly
+// into one independent subtree per input vector ("root": the dedup key
+// contains every view and views contain their own inputs, so classes of
+// different input vectors never merge); each root is one FrontierEngine
+// with a private ViewInterner. Below the root, every BFS level is cut
+// into fixed-size chunks of at most `chunk_states` frontier states
+// (FrontierEngine::partition), and the pool executes the resulting
+// (root, chunk) work items of one level concurrently -- so a single
+// heavy root no longer serializes a level: its chunks spread over all
+// threads. Chunk expansion is interner-free (pending views, see
+// core/frontier.hpp), which is what makes concurrent chunks of ONE root
+// safe without any locking.
+//
+// Determinism contract: chunk ids are deterministic (frontier order) and
+// every level is merged in (root, chunk) order -- first discovery wins,
+// multiplicities sum -- before the pending views are interned in merged
+// order. The merged level (states, links, multiplicities, and even the
+// per-root interner's id assignment order) is therefore identical to a
+// serial scan of the whole level, for EVERY chunk size and EVERY thread
+// count: `chunk_states` is an execution knob like the thread count and
+// can never change a result, a verdict, or a byte of serialized output
+// (the tests/golden/ artifacts are diffed with chunking forced to its
+// finest setting by ctest). After the last level, shard results are
+// merged in root order into one DepthAnalysis, so every field is
+// bit-identical to the serial analyze_depth() output. The only internal
 // difference is the private numbering of interned view ids, which the
-// deterministic absorb() merge keeps consistent but not serial-identical;
-// no observable field depends on id values, only on id equality.
+// deterministic absorb() merge keeps consistent; no observable field
+// depends on id values, only on id equality.
 //
-// Determinism: shard results are merged in root order after all shards
-// complete, so every field of the returned DepthAnalysis is bit-identical
-// for every thread count (including 1) and equal to the serial
-// analyze_depth() output.
-//
-// Truncation: a level overflows iff the sum of its shard sizes exceeds
-// max_states -- the same condition the serial BFS checks -- so verdicts
-// (including kResourceLimit) agree with the serial path. Each shard also
-// aborts on its own if it alone exceeds the budget, which implies the
-// total does.
+// Truncation: a level overflows iff the sum of its per-root pending
+// sizes exceeds max_states -- the same condition the serial BFS checks.
+// The check runs BEFORE the level is interned (merge is separated from
+// commit exactly for this), so an overflowing level leaves every
+// interner as if it had never been attempted and verdicts (including
+// kResourceLimit) agree with the serial path bit for bit.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 
+#include "core/frontier.hpp"
 #include "core/solvability.hpp"
 #include "runtime/sweep/thread_pool.hpp"
 
 namespace topocon::sweep {
 
-/// Parallel analyze_depth(): one shard per input vector, expanded on the
-/// pool. If `interner` is null a fresh one is created; passing one allows
-/// sharing ids across depths (as the serial signature does).
+/// Execution-layer sharding knobs. Like the thread count, these can
+/// never change any result (see the determinism contract above).
+struct ShardingOptions {
+  /// Maximum frontier states per expansion chunk; heavy roots split into
+  /// ceil(frontier / chunk_states) chunks per level. 0 = the process
+  /// default (default_chunk_states()). 1 = finest sharding (one chunk
+  /// per state), used by the determinism tests.
+  std::size_t chunk_states = 0;
+  /// Streaming per-chunk progress (core/frontier.hpp). Invoked under an
+  /// internal mutex, possibly from pool threads, once per completed
+  /// chunk; purely observational.
+  ChunkProgressFn on_chunk;
+};
+
+/// Process-wide default for ShardingOptions::chunk_states == 0: set from
+/// the CLI (`topocon --chunk=N`); 0 (the initial value) resolves to the
+/// built-in kDefaultChunkStates.
+inline constexpr std::size_t kDefaultChunkStates = 4096;
+void set_default_chunk_states(std::size_t chunk_states);
+std::size_t default_chunk_states();
+
+/// Parallel analyze_depth(): one frontier engine per input vector,
+/// expanded chunk by chunk on the pool. If `interner` is null a fresh
+/// one is created; passing one allows sharing ids across depths (as the
+/// serial signature does).
 DepthAnalysis parallel_analyze_depth(
     const MessageAdversary& adversary, const AnalysisOptions& options,
-    ThreadPool& pool, std::shared_ptr<ViewInterner> interner = nullptr);
+    ThreadPool& pool, std::shared_ptr<ViewInterner> interner = nullptr,
+    const ShardingOptions& sharding = {});
 
 /// Parallel check_solvability(): the iterative-deepening driver with each
-/// depth's expansion sharded over the pool. Same contract and same
+/// depth's expansion chunk-sharded over the pool. Same contract and same
 /// results as the serial checker. Interners inside the returned result
 /// are re-homed to the calling thread, so tables and analyses can be used
 /// directly by the caller. `on_depth` streams each completed depth's
 /// statistics (see DepthProgressFn); it runs on the calling thread of
-/// this function and never changes the result.
+/// this function and never changes the result. `sharding.on_chunk`
+/// additionally streams per-chunk progress inside every depth.
 SolvabilityResult parallel_check_solvability(
     const MessageAdversary& adversary, const SolvabilityOptions& options,
-    ThreadPool& pool, const DepthProgressFn& on_depth = {});
+    ThreadPool& pool, const DepthProgressFn& on_depth = {},
+    const ShardingOptions& sharding = {});
 
 }  // namespace topocon::sweep

@@ -34,6 +34,30 @@ std::vector<Query> build_omission(const GridOverrides& overrides) {
   return queries;
 }
 
+std::vector<Query> build_omission_n4(const GridOverrides& overrides) {
+  // The n = 4 leg of the omission frontier. The depth-3 prefix space has
+  // only 16 input-vector roots but millions of states in a heavy level,
+  // so this grid is exactly the shape root-only sharding cannot balance
+  // -- it exists because the chunked frontier engine spreads each root's
+  // levels over every thread (parallel_solver.hpp).
+  const int n = overrides.n.value_or(4);
+  const FamilyParamRange range = family_param_range("omission", n);
+  const auto [f_min, f_max] =
+      override_range(overrides, 0, std::min(range.max, 3));
+  std::vector<Query> queries;
+  SolvabilityOptions options;
+  options.max_depth = 3;
+  // Enough for the depth-3 certificate of f = 2 (7,888,624 leaf classes);
+  // budget-capped points past the frontier report RESOURCE-LIMIT after
+  // O(max_states) work (the two-pass budget in parallel_solver.cpp).
+  options.max_states = 8'000'000;
+  options.build_table = false;
+  for (const FamilyPoint& point : family_grid("omission", n, f_min, f_max)) {
+    queries.push_back(api::solvability(point, options));
+  }
+  return queries;
+}
+
 std::vector<Query> build_lossy_link_atlas(const GridOverrides& overrides) {
   const auto [mask_min, mask_max] = override_range(overrides, 1, 7);
   std::vector<Query> queries;
@@ -141,6 +165,22 @@ std::vector<Scenario> make_catalog() {
       "iff f <= n-2 [Santoro-Widmayer]. --n picks the process count,\n"
       "--param-min/--param-max restrict the f interval (valid: 0..n(n-1)).",
       /*supports_n=*/true, /*supports_param_range=*/true, build_omission});
+  scenarios.push_back(Scenario{
+      "omission-n4",
+      "Omission frontier at n=4: the chunk-sharded large-n grid "
+      "(default f=0..3)",
+      "Solvability sweep over the per-round omission budget f at n = 4\n"
+      "(depth bound 3, 8M-state budget): the first process count whose\n"
+      "per-root BFS levels are heavy enough (f=2 certifies at depth 3\n"
+      "with 7.9M leaf classes over only 16 roots) that root-only\n"
+      "sharding cannot balance them -- the frontier engine's sub-root\n"
+      "chunk sharding spreads each level over all threads instead.\n"
+      "Consensus is solvable iff f <= n-2 [Santoro-Widmayer]: the grid\n"
+      "certifies the whole frontier, and the first point past it (f=3)\n"
+      "documents the honest RESOURCE-LIMIT verdict at the state budget.\n"
+      "--n picks the process count, --param-min/--param-max restrict the\n"
+      "f interval (valid: 0..n(n-1)).",
+      /*supports_n=*/true, /*supports_param_range=*/true, build_omission_n4});
   scenarios.push_back(Scenario{
       "lossy-link-atlas",
       "All 7 lossy-link subsets at n=2: the solvability atlas",

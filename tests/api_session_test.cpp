@@ -10,6 +10,7 @@
 
 #include "api/api.hpp"
 #include "core/solvability.hpp"
+#include "runtime/sweep/parallel_solver.hpp"
 
 namespace topocon {
 namespace {
@@ -149,6 +150,32 @@ TEST(ApiSession, ObserverStreamsStartDepthAndDoneForEveryJob) {
       }
     }
   }
+}
+
+TEST(ApiSession, ObserverStreamsChunkProgressAndItNeverChangesResults) {
+  class ChunkObserver : public api::Observer {
+   public:
+    void on_depth(std::size_t job, const ChunkProgress& progress) override {
+      ++chunk_events;
+      EXPECT_LT(job, 5u);
+      EXPECT_GE(progress.level, 1);
+      EXPECT_LE(progress.level, progress.depth);
+      EXPECT_GE(progress.chunks_done, 1u);
+      EXPECT_LE(progress.chunks_done, progress.chunks_total);
+    }
+    int chunk_events = 0;
+  };
+
+  // Force the finest sub-root sharding; the document must not change.
+  Session base({.num_threads = 2, .record_global = false});
+  base.run("chunked", mixed_queries());
+  sweep::set_default_chunk_states(1);
+  Session session({.num_threads = 2, .record_global = false});
+  ChunkObserver observer;
+  session.run("chunked", mixed_queries(), &observer);
+  sweep::set_default_chunk_states(0);
+  EXPECT_GT(observer.chunk_events, 0);
+  EXPECT_EQ(history_json(session), history_json(base));
 }
 
 TEST(ApiSession, DecisionTableQueryRecordsTheCertificateShape) {

@@ -1,14 +1,8 @@
 // Unit tests for the parallel sweep engine: thread-pool semantics
-// (including nesting), exact agreement of the sharded depth analysis with
-// the serial one, SweepSpec execution with deterministic result ordering,
-// and byte-identical JSON across thread counts.
-//
-// This suite deliberately keeps exercising the DEPRECATED legacy shims
-// (run_sweep, solvability_job, series_job) alongside run_sweep_on: the
-// facade (api::Session) is tested in api_session_test; the shims must
-// keep working until they are removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// (including nesting), exact agreement of the chunk-sharded depth
+// analysis with the serial one (at several forced chunk sizes),
+// SweepSpec execution with deterministic result ordering, and
+// byte-identical JSON across thread counts.
 #include <atomic>
 #include <memory>
 #include <sstream>
@@ -32,6 +26,7 @@ namespace {
 using sweep::JobKind;
 using sweep::JobOutcome;
 using sweep::JsonWriter;
+using sweep::ShardingOptions;
 using sweep::SweepSpec;
 using sweep::ThreadPool;
 
@@ -150,6 +145,27 @@ TEST(ParallelAnalyze, MatchesSerialOnLossyLink) {
   }
 }
 
+TEST(ParallelAnalyze, MatchesSerialAtEveryChunkSize) {
+  // Sub-root sharding forced down to one-state chunks must reproduce the
+  // serial analysis exactly -- including tree links and multiplicities.
+  const auto ma = make_lossy_link(0b111);
+  AnalysisOptions options;
+  options.depth = 4;
+  options.keep_levels = true;
+  const DepthAnalysis serial = analyze_depth(*ma, options);
+  for (const std::size_t chunk_states : {std::size_t{1}, std::size_t{2},
+                                         std::size_t{7}, std::size_t{64}}) {
+    for (const int threads : {1, 3}) {
+      ThreadPool pool(threads);
+      ShardingOptions sharding;
+      sharding.chunk_states = chunk_states;
+      expect_analysis_equal(serial,
+                            sweep::parallel_analyze_depth(
+                                *ma, options, pool, nullptr, sharding));
+    }
+  }
+}
+
 TEST(ParallelAnalyze, MatchesSerialOnOmissionN3) {
   const auto ma = make_omission_adversary(3, 1);
   AnalysisOptions options;
@@ -160,6 +176,10 @@ TEST(ParallelAnalyze, MatchesSerialOnOmissionN3) {
   ThreadPool pool(3);
   expect_analysis_equal(serial,
                         sweep::parallel_analyze_depth(*ma, options, pool));
+  ShardingOptions fine;
+  fine.chunk_states = 1;
+  expect_analysis_equal(serial, sweep::parallel_analyze_depth(
+                                    *ma, options, pool, nullptr, fine));
 }
 
 TEST(ParallelAnalyze, TruncationMatchesSerial) {
@@ -169,14 +189,57 @@ TEST(ParallelAnalyze, TruncationMatchesSerial) {
   options.max_states = 50;  // overflows at some level > 1
   const DepthAnalysis serial = analyze_depth(*ma, options);
   ASSERT_TRUE(serial.truncated);
-  for (const int threads : {1, 3}) {
-    ThreadPool pool(threads);
-    const DepthAnalysis parallel =
-        sweep::parallel_analyze_depth(*ma, options, pool);
-    EXPECT_TRUE(parallel.truncated);
-    EXPECT_EQ(parallel.depth, serial.depth);
-    EXPECT_EQ(parallel.leaves().size(), serial.leaves().size());
+  for (const std::size_t chunk_states : {std::size_t{0}, std::size_t{1}}) {
+    for (const int threads : {1, 3}) {
+      ThreadPool pool(threads);
+      ShardingOptions sharding;
+      sharding.chunk_states = chunk_states;
+      const DepthAnalysis parallel = sweep::parallel_analyze_depth(
+          *ma, options, pool, nullptr, sharding);
+      EXPECT_TRUE(parallel.truncated);
+      EXPECT_EQ(parallel.depth, serial.depth);
+      EXPECT_EQ(parallel.leaves().size(), serial.leaves().size());
+    }
   }
+}
+
+TEST(ParallelAnalyze, ChunkProgressCountsEveryChunkOfEveryLevel) {
+  const auto ma = make_omission_adversary(2, 1);
+  AnalysisOptions options;
+  options.depth = 3;
+  ThreadPool pool(2);
+  ShardingOptions sharding;
+  sharding.chunk_states = 4;  // force sub-root splitting on a skewed level
+  std::vector<ChunkProgress> events;
+  sharding.on_chunk = [&](const ChunkProgress& progress) {
+    events.push_back(progress);
+  };
+  const DepthAnalysis analysis =
+      sweep::parallel_analyze_depth(*ma, options, pool, nullptr, sharding);
+  const DepthAnalysis serial = analyze_depth(*ma, options);
+  expect_analysis_equal(serial, analysis);
+
+  // Per level: chunks_done runs 1..chunks_total, and at least one level
+  // of this skewed workload splits a root into several chunks (more
+  // chunks than the 4 input-vector roots).
+  bool split_below_root = false;
+  std::size_t seen_for_level = 0;
+  int level = 0;
+  for (const ChunkProgress& event : events) {
+    EXPECT_EQ(event.depth, 3);
+    if (event.level != level) {
+      EXPECT_EQ(seen_for_level, 0u) << "level change mid-count";
+      level = event.level;
+    }
+    ++seen_for_level;
+    EXPECT_EQ(event.chunks_done, seen_for_level);
+    EXPECT_GT(event.chunks_total, 0u);
+    if (event.chunks_done == event.chunks_total) seen_for_level = 0;
+    if (event.chunks_total > 4u) split_below_root = true;
+  }
+  EXPECT_EQ(seen_for_level, 0u) << "last level's chunk count incomplete";
+  EXPECT_TRUE(split_below_root)
+      << "chunk_states=4 never split a root; workload not skewed enough";
 }
 
 TEST(ParallelCheck, AgreesWithSerialVerdicts) {
@@ -208,22 +271,59 @@ TEST(ParallelCheck, AgreesWithSerialVerdicts) {
   }
 }
 
-// ---- SweepSpec / run_sweep ----------------------------------------------
+TEST(ParallelCheck, ChunkedVerdictAndStatsMatchUnchunked) {
+  const auto ma = make_lossy_link(0b011);
+  SolvabilityOptions options;
+  options.max_depth = 5;
+  ThreadPool pool(2);
+  const SolvabilityResult base =
+      sweep::parallel_check_solvability(*ma, options, pool);
+  ShardingOptions fine;
+  fine.chunk_states = 1;
+  const SolvabilityResult chunked =
+      sweep::parallel_check_solvability(*ma, options, pool, {}, fine);
+  EXPECT_EQ(chunked.verdict, base.verdict);
+  EXPECT_EQ(chunked.certified_depth, base.certified_depth);
+  ASSERT_EQ(chunked.per_depth.size(), base.per_depth.size());
+  for (std::size_t d = 0; d < base.per_depth.size(); ++d) {
+    EXPECT_EQ(chunked.per_depth[d], base.per_depth[d]) << "depth " << d + 1;
+  }
+  ASSERT_TRUE(chunked.table.has_value());
+  EXPECT_EQ(chunked.table->size(), base.table->size());
+}
 
-SweepSpec small_spec(int threads) {
+// ---- SweepSpec / run_sweep_on -------------------------------------------
+
+sweep::SweepJob make_solvability_job(const FamilyPoint& point,
+                                     const SolvabilityOptions& options) {
+  sweep::SweepJob job;
+  job.point = point;
+  job.kind = JobKind::kSolvability;
+  job.solve = options;
+  return job;
+}
+
+sweep::SweepJob make_series_job(const FamilyPoint& point,
+                                const AnalysisOptions& options) {
+  sweep::SweepJob job;
+  job.point = point;
+  job.kind = JobKind::kDepthSeries;
+  job.analysis = options;
+  return job;
+}
+
+SweepSpec small_spec() {
   SweepSpec spec;
   spec.name = "unit";
-  spec.num_threads = threads;
-  spec.record = false;
   SolvabilityOptions options;
   options.max_depth = 5;
   for (const int mask : {1, 2, 3, 5, 7}) {
     spec.jobs.push_back(
-        sweep::solvability_job({"lossy_link", 2, mask}, options));
+        make_solvability_job({"lossy_link", 2, mask}, options));
   }
   AnalysisOptions series;
   series.depth = 4;
-  spec.jobs.push_back(sweep::series_job({"lossy_link", 2, 7}, series));
+  spec.jobs.push_back(make_series_job({"lossy_link", 2, 7}, series));
   return spec;
 }
 
@@ -234,23 +334,36 @@ std::string spec_json(const std::vector<JobOutcome>& outcomes) {
   return out.str();
 }
 
-TEST(RunSweep, DeterministicOrderingAndJsonAcrossThreadCounts) {
-  const std::vector<JobOutcome> base = sweep::run_sweep(small_spec(1));
+std::vector<JobOutcome> run_small_spec(int threads) {
+  ThreadPool pool(threads);
+  return sweep::run_sweep_on(small_spec(), pool);
+}
+
+TEST(RunSweepOn, DeterministicOrderingAndJsonAcrossThreadCounts) {
+  const std::vector<JobOutcome> base = run_small_spec(1);
   ASSERT_EQ(base.size(), 6u);
   EXPECT_EQ(base[0].label, "{<-}");
   EXPECT_EQ(base[5].kind, JobKind::kDepthSeries);
   const std::string base_json = spec_json(base);
   for (const int threads : {2, int(std::thread::hardware_concurrency())}) {
     const std::vector<JobOutcome> outcomes =
-        sweep::run_sweep(small_spec(std::max(threads, 1)));
+        run_small_spec(std::max(threads, 1));
     EXPECT_EQ(spec_json(outcomes), base_json)
         << "JSON differs at " << threads << " threads";
   }
 }
 
-TEST(RunSweep, OnJobDoneHookSeesEveryJobExactlyOnceWithFinalAggregates) {
+TEST(RunSweepOn, JsonIdenticalUnderFinestChunking) {
+  const std::string base_json = spec_json(run_small_spec(2));
+  sweep::set_default_chunk_states(1);
+  const std::string chunked_json = spec_json(run_small_spec(2));
+  sweep::set_default_chunk_states(0);
+  EXPECT_EQ(chunked_json, base_json);
+}
+
+TEST(RunSweepOn, OnJobDoneHookSeesEveryJobExactlyOnceWithFinalAggregates) {
   for (const int threads : {1, 4}) {
-    SweepSpec spec = small_spec(threads);
+    SweepSpec spec = small_spec();
     std::vector<int> calls(spec.jobs.size(), 0);
     std::vector<sweep::JobRecord> from_hook(spec.jobs.size());
     spec.on_job_done = [&](std::size_t j, const JobOutcome& outcome) {
@@ -258,7 +371,9 @@ TEST(RunSweep, OnJobDoneHookSeesEveryJobExactlyOnceWithFinalAggregates) {
       ++calls[j];
       from_hook[j] = sweep::summarize(outcome);
     };
-    const std::vector<JobOutcome> outcomes = sweep::run_sweep(spec);
+    ThreadPool pool(threads);
+    const std::vector<JobOutcome> outcomes =
+        sweep::run_sweep_on(spec, pool);
     ASSERT_EQ(outcomes.size(), from_hook.size());
     for (std::size_t j = 0; j < outcomes.size(); ++j) {
       EXPECT_EQ(calls[j], 1) << "job " << j << " at " << threads;
@@ -268,15 +383,14 @@ TEST(RunSweep, OnJobDoneHookSeesEveryJobExactlyOnceWithFinalAggregates) {
   }
 }
 
-TEST(RunSweep, SeriesContinuesPastSeparation) {
+TEST(RunSweepOn, SeriesContinuesPastSeparation) {
   SweepSpec spec;
   spec.name = "series";
-  spec.record = false;
-  spec.num_threads = 2;
   AnalysisOptions series;
   series.depth = 3;
-  spec.jobs.push_back(sweep::series_job({"lossy_link", 2, 0b011}, series));
-  const auto outcomes = sweep::run_sweep(spec);
+  spec.jobs.push_back(make_series_job({"lossy_link", 2, 0b011}, series));
+  ThreadPool pool(2);
+  const auto outcomes = sweep::run_sweep_on(spec, pool);
   ASSERT_EQ(outcomes.size(), 1u);
   // The solvable pair separates at depth 1 but the series keeps going.
   ASSERT_EQ(outcomes[0].series.size(), 3u);
@@ -284,24 +398,23 @@ TEST(RunSweep, SeriesContinuesPastSeparation) {
   EXPECT_TRUE(outcomes[0].series[2].separated);
 }
 
-TEST(RunSweep, RegistryDisabledByDefaultAndRecordsInRunOrderWhenEnabled) {
+TEST(SweepRegistry, DisabledByDefaultAndRecordsInRunOrderWhenEnabled) {
   sweep::SweepRegistry::instance().clear();
   sweep::SweepRegistry::instance().set_enabled(false);
-  SweepSpec disabled_spec = small_spec(2);
-  disabled_spec.record = true;
+  ThreadPool pool(2);
+  SweepSpec disabled_spec = small_spec();
   disabled_spec.jobs.resize(1);
-  sweep::run_sweep(disabled_spec);
+  sweep::SweepRegistry::instance().record(
+      disabled_spec.name, sweep::run_sweep_on(disabled_spec, pool));
   EXPECT_TRUE(sweep::SweepRegistry::instance().empty())
       << "registry retained outcomes while disabled";
 
   sweep::SweepRegistry::instance().set_enabled(true);
-  SweepSpec spec = small_spec(2);
-  spec.record = true;
-  spec.name = "first";
+  SweepSpec spec = small_spec();
   spec.jobs.resize(2);
-  sweep::run_sweep(spec);
-  spec.name = "second";
-  sweep::run_sweep(spec);
+  const std::vector<JobOutcome> outcomes = sweep::run_sweep_on(spec, pool);
+  sweep::SweepRegistry::instance().record("first", outcomes);
+  sweep::SweepRegistry::instance().record("second", outcomes);
   std::ostringstream out;
   sweep::SweepRegistry::instance().write_json(out);
   const std::string json = out.str();
@@ -341,14 +454,14 @@ TEST(JsonWriterTest, EscapesAndNests) {
             "    true,\n    -7\n  ]\n}");
 }
 
-// ---- run_sweep_on (the Session execution path) --------------------------
+// ---- run_sweep_on hooks -------------------------------------------------
 
-TEST(RunSweepOn, MatchesRunSweepAndStreamsHooksInOrder) {
-  const std::vector<JobOutcome> legacy = sweep::run_sweep(small_spec(2));
-  SweepSpec spec = small_spec(2);
+TEST(RunSweepOn, StreamsHooksInOrder) {
+  SweepSpec spec = small_spec();
   ThreadPool pool(2);
   std::vector<int> starts(spec.jobs.size(), 0);
   std::vector<std::vector<int>> depths(spec.jobs.size());
+  std::vector<int> chunks(spec.jobs.size(), 0);
   std::vector<int> dones(spec.jobs.size(), 0);
   sweep::SweepHooks hooks;
   hooks.on_job_start = [&](std::size_t j, const sweep::SweepJob&) {
@@ -357,14 +470,17 @@ TEST(RunSweepOn, MatchesRunSweepAndStreamsHooksInOrder) {
   hooks.on_depth = [&](std::size_t j, const DepthStats& stats) {
     depths[j].push_back(stats.depth);
   };
+  hooks.on_chunk = [&](std::size_t j, const ChunkProgress& progress) {
+    EXPECT_GT(progress.chunks_total, 0u);
+    ++chunks[j];
+  };
   hooks.on_job_done = [&](std::size_t j, const JobOutcome&) { ++dones[j]; };
   const std::vector<JobOutcome> outcomes =
       sweep::run_sweep_on(spec, pool, hooks);
-  ASSERT_EQ(outcomes.size(), legacy.size());
   for (std::size_t j = 0; j < outcomes.size(); ++j) {
-    EXPECT_EQ(sweep::summarize(outcomes[j]), sweep::summarize(legacy[j]));
     EXPECT_EQ(starts[j], 1) << "job " << j;
     EXPECT_EQ(dones[j], 1) << "job " << j;
+    EXPECT_GT(chunks[j], 0) << "job " << j << " streamed no chunk events";
     // One on_depth per completed depth, in depth order.
     const std::vector<DepthStats>& stats =
         outcomes[j].kind == JobKind::kDepthSeries
@@ -403,4 +519,3 @@ TEST(RunSweepOn, DecisionTableJobExtractsRoundProfile) {
 
 }  // namespace
 }  // namespace topocon
-#pragma GCC diagnostic pop

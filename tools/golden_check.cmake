@@ -9,12 +9,17 @@
 #   GOLDEN       committed reference document (tests/golden/*.json)
 #   THREADS      comma-separated thread counts to verify, e.g. "1,2,8"
 #   WORK_DIR     scratch directory (recreated)
+#   RUN_FLAGS    optional extra flags for `run` (semicolon-separated),
+#                e.g. "--chunk=1" to force finest sub-root sharding
 
 foreach(var TOPOCON_CLI SCENARIO GOLDEN THREADS WORK_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "missing -D${var}")
   endif()
 endforeach()
+if(NOT DEFINED RUN_FLAGS)
+  set(RUN_FLAGS "")
+endif()
 
 string(REPLACE "," ";" THREADS "${THREADS}")
 
@@ -24,15 +29,15 @@ file(MAKE_DIRECTORY "${WORK_DIR}")
 foreach(threads IN LISTS THREADS)
   set(artifact "${WORK_DIR}/t${threads}.json")
   execute_process(
-    COMMAND ${TOPOCON_CLI} run ${SCENARIO} --threads=${threads}
+    COMMAND ${TOPOCON_CLI} run ${SCENARIO} ${RUN_FLAGS} --threads=${threads}
             --json=${artifact}
     RESULT_VARIABLE code
     OUTPUT_VARIABLE output
     ERROR_VARIABLE output)
   if(NOT code EQUAL 0)
     message(FATAL_ERROR
-      "topocon run ${SCENARIO} --threads=${threads} exited ${code}:\n"
-      "${output}")
+      "topocon run ${SCENARIO} ${RUN_FLAGS} --threads=${threads} exited "
+      "${code}:\n${output}")
   endif()
   execute_process(
     COMMAND ${CMAKE_COMMAND} -E compare_files ${artifact} ${GOLDEN}

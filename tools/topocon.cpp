@@ -3,9 +3,12 @@
 //
 //   topocon list
 //   topocon describe SCENARIO
-//   topocon run SCENARIO [--threads=N] [--json=PATH] [--format=table|csv]
+//   topocon run SCENARIO [--threads=N] [--chunk=N] [--json=PATH]
+//                        [--format=table|csv]
 //                        [--n=N] [--param-min=V] [--param-max=V]
-//   topocon resume PATH [--threads=N] [--format=table|csv]
+//   topocon resume PATH [--threads=N] [--chunk=N] [--format=table|csv]
+//   topocon bench [BINARY...] [--bench-dir=PATH] [--filter=REGEX]
+//                 [--repetitions=N] [--json=PATH]
 //
 // `run` expands the scenario into an api::Plan (a named list of pure-data
 // api::Query values) and executes it on one api::Session. With
@@ -24,10 +27,24 @@
 // plotting the E4/E6/E7 convergence curves); status messages then go to
 // stderr so stdout is a clean artifact.
 //
-// Exit codes: 0 success, 1 I/O failure, 2 usage error, 3 simulated crash
-// (--fail-after, testing only).
+// `run`/`resume` additionally draw a single-line progress bar on stderr,
+// fed by the Observer's per-chunk events -- but only when stderr is a
+// terminal, so piped or redirected invocations (including `--json` runs
+// under CI) stay byte-clean.
+//
+// `bench` wraps the google-benchmark binaries of the build tree so the
+// perf trajectory has one operator entry point: `--filter` and
+// `--repetitions` forward to the benchmark flags, `--json` captures the
+// benchmark JSON artifact (one selected binary).
+//
+// Exit codes: 0 success, 1 I/O or benchmark failure, 2 usage error,
+// 3 simulated crash (--fail-after, testing only).
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -39,6 +56,7 @@
 #include "api/api.hpp"
 #include "runtime/sweep/checkpoint.hpp"
 #include "runtime/sweep/cli.hpp"
+#include "runtime/sweep/parallel_solver.hpp"
 #include "scenario/render.hpp"
 #include "scenario/scenario.hpp"
 
@@ -55,10 +73,16 @@ int usage(std::ostream& out, int code) {
          "  run SCENARIO [FLAGS]      expand the grid and run it\n"
          "  resume PATH [FLAGS]       finish an interrupted `run --json` "
          "sweep\n"
+         "  bench [BINARY...] [FLAGS] run the google-benchmark binaries\n"
          "\n"
-         "flags:\n"
+         "run/resume flags:\n"
          "  --threads=N               engine threads (default: hardware "
          "concurrency;\n"
+         "                            results are identical for every N)\n"
+         "  --chunk=N                 frontier states per expansion chunk "
+         "(default\n"
+         "                            4096; like --threads an execution "
+         "detail --\n"
          "                            results are identical for every N)\n"
          "  --json=PATH               checkpoint to PATH while running, "
          "then finalize\n"
@@ -73,7 +97,21 @@ int usage(std::ostream& out, int code) {
          "  --param-min=V             lower end of the parameter grid\n"
          "  --param-max=V             upper end of the parameter grid\n"
          "  --fail-after=K            (testing) crash-exit 3 after K "
-         "checkpoint appends\n";
+         "checkpoint appends\n"
+         "\n"
+         "bench flags:\n"
+         "  --bench-dir=PATH          directory holding the bench_* "
+         "binaries\n"
+         "                            (default: the bench/ directory of "
+         "the build\n"
+         "                            tree this topocon sits in)\n"
+         "  --filter=REGEX            forwarded as --benchmark_filter\n"
+         "  --repetitions=N           forwarded as "
+         "--benchmark_repetitions\n"
+         "  --json=PATH               benchmark JSON artifact "
+         "(--benchmark_out);\n"
+         "                            requires exactly one selected "
+         "binary\n";
   return code;
 }
 
@@ -81,6 +119,7 @@ enum class Format { kTable, kCsv };
 
 struct RunFlags {
   int threads = 0;
+  int chunk = 0;  // 0 = default_chunk_states()
   std::string json_path;
   Format format = Format::kTable;
   scenario::GridOverrides overrides;
@@ -95,6 +134,12 @@ bool parse_flags(int argc, char** argv, int first, RunFlags* flags) {
     try {
       if (const auto v = sweep::flag_value(arg, "threads")) {
         flags->threads = sweep::parse_int_value("threads", *v);
+      } else if (const auto v = sweep::flag_value(arg, "chunk")) {
+        flags->chunk = sweep::parse_int_value("chunk", *v);
+        if (flags->chunk <= 0) {
+          std::cerr << "topocon: --chunk must be >= 1\n";
+          return false;
+        }
       } else if (const auto v = sweep::flag_value(arg, "json")) {
         if (v->empty()) {
           std::cerr << "topocon: --json needs a non-empty path\n";
@@ -236,18 +281,102 @@ bool finalize_json(const std::string& path, const std::string& sweep_name,
   });
 }
 
-/// Streams finished jobs into the checkpoint file. `job_index` maps the
-/// running plan's job positions to overall job indices (resume runs a
-/// suffix of the plan). Crash-exits 3 after `fail_after` appends.
-class CheckpointObserver : public api::Observer {
+/// Single-line stderr progress display for run/resume, fed by the
+/// Observer's per-chunk events. TTY-only: when stderr is not a terminal
+/// (CI, piping, `2>file`) it draws nothing, so redirected output stays
+/// byte-clean. Callbacks arrive serialized from the engine, so the bar
+/// needs no locking of its own.
+class ProgressBar {
  public:
-  CheckpointObserver(sweep::CheckpointWriter* ckpt,
-                     const std::vector<std::size_t>& job_index,
-                     int fail_after)
-      : ckpt_(ckpt), job_index_(job_index), fail_after_(fail_after) {}
+  ProgressBar(std::string name, std::size_t jobs_total)
+      : name_(std::move(name)),
+        jobs_total_(jobs_total),
+        enabled_(isatty(fileno(stderr)) != 0) {}
+  ~ProgressBar() { clear(); }
+
+  void job_started(const std::string& label) { draw(label + " starting"); }
+  void chunk_done(const std::string& label, const ChunkProgress& progress) {
+    draw(label + " depth " + std::to_string(progress.depth) + ": level " +
+         std::to_string(progress.level) + ", chunk " +
+         std::to_string(progress.chunks_done) + "/" +
+         std::to_string(progress.chunks_total) + " (" +
+         std::to_string(progress.frontier_states) + " states)");
+  }
+  void depth_done(const std::string& label, const DepthStats& stats) {
+    draw(label + " depth " + std::to_string(stats.depth) + " done (" +
+         std::to_string(stats.num_leaf_classes) + " classes)");
+  }
+  void job_done(const std::string& label) {
+    ++jobs_done_;
+    draw(label + " finished");
+  }
+  /// Erases the bar (before regular output; also run by the destructor).
+  void clear() {
+    if (!enabled_ || last_width_ == 0) return;
+    std::fprintf(stderr, "\r%*s\r", static_cast<int>(last_width_), "");
+    std::fflush(stderr);
+    last_width_ = 0;
+  }
+
+ private:
+  void draw(const std::string& activity) {
+    if (!enabled_) return;
+    std::string line = "[" + name_ + "] " + std::to_string(jobs_done_) +
+                       "/" + std::to_string(jobs_total_) + " jobs | " +
+                       activity;
+    if (line.size() > kWidth) line.resize(kWidth);
+    const std::size_t width = std::max(line.size(), last_width_);
+    line.resize(width, ' ');  // overwrite remnants of a longer line
+    std::fprintf(stderr, "\r%s", line.c_str());
+    std::fflush(stderr);
+    last_width_ = width;
+  }
+
+  static constexpr std::size_t kWidth = 78;
+  std::string name_;
+  std::size_t jobs_total_;
+  bool enabled_;
+  std::size_t jobs_done_ = 0;
+  std::size_t last_width_ = 0;
+};
+
+/// Streams finished jobs into the checkpoint file and feeds the progress
+/// bar. `job_index` maps the running plan's job positions to overall job
+/// indices (resume runs a suffix of the plan). Crash-exits 3 after
+/// `fail_after` appends.
+class RunObserver : public api::Observer {
+ public:
+  RunObserver(sweep::CheckpointWriter* ckpt,
+              const std::vector<std::size_t>& job_index, int fail_after,
+              const std::vector<api::Query>& queries, ProgressBar* progress)
+      : ckpt_(ckpt),
+        job_index_(job_index),
+        fail_after_(fail_after),
+        queries_(queries),
+        progress_(progress) {}
+
+  void on_job_start(std::size_t job, const api::Query& query) override {
+    (void)job;
+    if (progress_ != nullptr) progress_->job_started(api::label_of(query));
+  }
+
+  void on_depth(std::size_t job, const ChunkProgress& chunk) override {
+    if (progress_ != nullptr) {
+      progress_->chunk_done(api::label_of(queries_[job]), chunk);
+    }
+  }
+
+  void on_depth(std::size_t job, const DepthStats& stats) override {
+    if (progress_ != nullptr) {
+      progress_->depth_done(api::label_of(queries_[job]), stats);
+    }
+  }
 
   void on_job_done(std::size_t job,
                    const sweep::JobOutcome& outcome) override {
+    if (progress_ != nullptr) {
+      progress_->job_done(api::label_of(queries_[job]));
+    }
     if (ckpt_ == nullptr) return;
     ckpt_->append(job_index_[job], sweep::summarize(outcome));
     if (fail_after_ > 0 && ++appended_ >= fail_after_) {
@@ -261,6 +390,8 @@ class CheckpointObserver : public api::Observer {
   sweep::CheckpointWriter* ckpt_;
   const std::vector<std::size_t>& job_index_;
   int fail_after_;
+  const std::vector<api::Query>& queries_;
+  ProgressBar* progress_;
   int appended_ = 0;
 };
 
@@ -272,8 +403,10 @@ void run_jobs(api::Session& session, const std::string& name,
               const std::vector<std::size_t>& job_index,
               sweep::CheckpointWriter* ckpt, int fail_after,
               std::vector<std::optional<sweep::JobRecord>>* records) {
-  CheckpointObserver observer(ckpt, job_index, fail_after);
+  ProgressBar progress(name, queries.size());
+  RunObserver observer(ckpt, job_index, fail_after, queries, &progress);
   session.run(name, queries, &observer);
+  progress.clear();
   // The session already summarized the run into its history; reuse those
   // records instead of summarizing the outcomes a second time.
   const std::vector<sweep::JobRecord>& fresh = session.history().back().second;
@@ -354,6 +487,9 @@ int cmd_run(const std::string& name, const RunFlags& flags) {
     return 2;
   }
 
+  if (flags.chunk > 0) {
+    sweep::set_default_chunk_states(static_cast<std::size_t>(flags.chunk));
+  }
   api::Session session({.num_threads = flags.threads,
                         .record_global = false});
   std::vector<std::size_t> job_index(plan.queries.size());
@@ -519,6 +655,9 @@ int cmd_resume(const std::string& path, const RunFlags& flags) {
     return 1;
   }
   sweep::CheckpointWriter ckpt(ckpt_out);
+  if (flags.chunk > 0) {
+    sweep::set_default_chunk_states(static_cast<std::size_t>(flags.chunk));
+  }
   api::Session session({.num_threads = flags.threads,
                         .record_global = false});
   run_jobs(session, sweep_name, pending, job_index, &ckpt, flags.fail_after,
@@ -529,6 +668,140 @@ int cmd_resume(const std::string& path, const RunFlags& flags) {
   if (!finalize_json(path, sweep_name, final_records)) return 1;
   info_stream(flags) << "Wrote " << path << "\n\n";
   render(std::cout, flags, sweep_name, final_records);
+  return 0;
+}
+
+/// POSIX-shell single quoting, safe for any byte except NUL.
+std::string shell_quote(const std::string& text) {
+  std::string quoted = "'";
+  for (const char c : text) {
+    if (c == '\'') {
+      quoted += "'\\''";
+    } else {
+      quoted += c;
+    }
+  }
+  quoted += "'";
+  return quoted;
+}
+
+/// `topocon bench`: wraps the google-benchmark binaries of the build
+/// tree. Positional arguments select binaries (with or without their
+/// bench_ prefix); none selects every bench_* in the bench directory.
+int cmd_bench(int argc, char** argv, const char* argv0) {
+  namespace fs = std::filesystem;
+  std::string bench_dir;
+  std::string filter;
+  int repetitions = 0;
+  std::string json_path;
+  std::vector<std::string> names;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    try {
+      if (const auto v = sweep::flag_value(arg, "bench-dir")) {
+        bench_dir = *v;
+      } else if (const auto v = sweep::flag_value(arg, "filter")) {
+        filter = *v;
+      } else if (const auto v = sweep::flag_value(arg, "repetitions")) {
+        repetitions = sweep::parse_int_value("repetitions", *v);
+        if (repetitions < 1) {
+          std::cerr << "topocon: --repetitions must be >= 1\n";
+          return 2;
+        }
+      } else if (const auto v = sweep::flag_value(arg, "json")) {
+        if (v->empty()) {
+          std::cerr << "topocon: --json needs a non-empty path\n";
+          return 2;
+        }
+        json_path = *v;
+      } else if (arg.rfind("--", 0) == 0) {
+        std::cerr << "topocon: unknown argument '" << arg << "'\n";
+        return 2;
+      } else {
+        names.emplace_back(arg);
+      }
+    } catch (const std::invalid_argument& error) {
+      std::cerr << "topocon: " << error.what() << "\n";
+      return 2;
+    }
+  }
+
+  // Default bench directory: the build tree's bench/ next to this
+  // binary (build/tools/topocon -> build/bench).
+  if (bench_dir.empty()) {
+    std::error_code ec;
+    fs::path exe = fs::read_symlink("/proc/self/exe", ec);
+    if (ec) exe = fs::absolute(fs::path(argv0), ec);
+    bench_dir = (exe.parent_path().parent_path() / "bench").string();
+  }
+  std::error_code ec;
+  if (!fs::is_directory(bench_dir, ec)) {
+    std::cerr << "topocon: bench directory " << bench_dir
+              << " does not exist (is this a -DTOPOCON_BUILD_BENCH=ON "
+                 "build tree? see --bench-dir)\n";
+    return 2;
+  }
+
+  std::vector<fs::path> binaries;
+  if (names.empty()) {
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(bench_dir)) {
+      const std::string name = entry.path().filename().string();
+      if (entry.is_regular_file() && name.rfind("bench_", 0) == 0 &&
+          entry.path().extension().empty()) {
+        binaries.push_back(entry.path());
+      }
+    }
+    std::sort(binaries.begin(), binaries.end());
+    if (binaries.empty()) {
+      std::cerr << "topocon: no bench_* binaries in " << bench_dir << "\n";
+      return 2;
+    }
+  } else {
+    for (const std::string& name : names) {
+      const fs::path direct = fs::path(bench_dir) / name;
+      const fs::path prefixed = fs::path(bench_dir) / ("bench_" + name);
+      if (fs::is_regular_file(direct, ec)) {
+        binaries.push_back(direct);
+      } else if (fs::is_regular_file(prefixed, ec)) {
+        binaries.push_back(prefixed);
+      } else {
+        std::cerr << "topocon: no benchmark binary '" << name << "' in "
+                  << bench_dir << "\n";
+        return 2;
+      }
+    }
+  }
+  if (!json_path.empty() && binaries.size() != 1) {
+    std::cerr << "topocon: --json captures one benchmark binary's output; "
+                 "name exactly one (got "
+              << binaries.size() << ")\n";
+    return 2;
+  }
+
+  for (const fs::path& binary : binaries) {
+    std::string command = shell_quote(binary.string());
+    if (!filter.empty()) {
+      command += " --benchmark_filter=" + shell_quote(filter);
+    }
+    if (repetitions > 0) {
+      command += " --benchmark_repetitions=" + std::to_string(repetitions);
+    }
+    if (!json_path.empty()) {
+      command += " --benchmark_out=" + shell_quote(json_path) +
+                 " --benchmark_out_format=json";
+    }
+    std::cerr << "topocon bench: " << binary.filename().string() << "\n";
+    const int code = std::system(command.c_str());
+    if (code != 0) {
+      std::cerr << "topocon: " << binary.filename().string()
+                << " failed (system() returned " << code << ")\n";
+      return 1;
+    }
+  }
+  if (!json_path.empty()) {
+    std::cerr << "topocon bench: wrote " << json_path << "\n";
+  }
   return 0;
 }
 
@@ -547,6 +820,9 @@ int main(int argc, char** argv) {
   if (command == "describe") {
     if (argc != 3) return usage(std::cerr, 2);
     return cmd_describe(argv[2]);
+  }
+  if (command == "bench") {
+    return cmd_bench(argc, argv, argv[0]);
   }
   if (command == "run" || command == "resume") {
     if (argc < 3 || argv[2][0] == '-') return usage(std::cerr, 2);
