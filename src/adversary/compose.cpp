@@ -1,0 +1,572 @@
+#include "adversary/compose.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "adversary/windowed.hpp"
+
+namespace topocon {
+
+bool is_composed_family(std::string_view family) {
+  return family.size() > kComposedPrefix.size() &&
+         family.substr(0, kComposedPrefix.size()) == kComposedPrefix;
+}
+
+std::string_view composed_spec_of(std::string_view family) {
+  return family.substr(kComposedPrefix.size());
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("composed: " + what);
+}
+
+// ---- Spec parser --------------------------------------------------------
+//
+// Minimal recursive-descent JSON subset (objects with string keys, string
+// and integer values, arrays of objects) -- hand-rolled because the
+// adversary layer sits below the runtime layer's sweep JSON reader.
+
+class SpecParser {
+ public:
+  explicit SpecParser(std::string_view text) : text_(text) {}
+
+  ComposeSpec parse_document() {
+    ComposeSpec spec = parse_spec();
+    skip_ws();
+    if (pos_ != text_.size()) syntax_fail("trailing characters after spec");
+    return spec;
+  }
+
+ private:
+  [[noreturn]] void syntax_fail(const std::string& what) {
+    fail(what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) syntax_fail(std::string("expected '") + c + "'");
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) syntax_fail("unterminated escape");
+        c = text_[pos_++];
+        if (c != '"' && c != '\\') syntax_fail("unsupported escape");
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) syntax_fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  int parse_int() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    const std::string_view digits = text_.substr(start, pos_ - start);
+    if (digits.empty() || digits == "-") syntax_fail("expected an integer");
+    try {
+      return std::stoi(std::string(digits));
+    } catch (const std::out_of_range&) {
+      pos_ = start;
+      syntax_fail("integer out of range");
+    }
+  }
+
+  ComposeSpec parse_spec() {
+    expect('{');
+    ComposeSpec spec;
+    bool has_family = false, has_n = false, has_param = false;
+    bool has_op = false, has_w = false, has_of = false;
+    std::string op;
+    if (!consume('}')) {
+      do {
+        const std::string key = parse_string();
+        expect(':');
+        const auto once = [&](bool* seen) {
+          if (*seen) fail("duplicate member '" + key + "'");
+          *seen = true;
+        };
+        if (key == "family") {
+          once(&has_family);
+          spec.leaf.family = parse_string();
+        } else if (key == "n") {
+          once(&has_n);
+          spec.leaf.n = parse_int();
+        } else if (key == "param") {
+          once(&has_param);
+          spec.leaf.param = parse_int();
+        } else if (key == "op") {
+          once(&has_op);
+          op = parse_string();
+        } else if (key == "w") {
+          once(&has_w);
+          spec.window = parse_int();
+        } else if (key == "of") {
+          once(&has_of);
+          expect('[');
+          if (!consume(']')) {
+            do {
+              spec.children.push_back(parse_spec());
+            } while (consume(','));
+            expect(']');
+          }
+        } else {
+          fail("unknown member '" + key + "'");
+        }
+      } while (consume(','));
+      expect('}');
+    }
+
+    if (has_op) {
+      if (has_family || has_n || has_param) {
+        fail("spec mixes leaf and combinator members");
+      }
+      if (!has_of) fail("combinator needs an of member");
+      const std::size_t arity = spec.children.size();
+      if (op == "product" || op == "union") {
+        if (has_w) fail("only window carries a w member");
+        if (arity < 2) {
+          fail(op + " needs >= 2 components (got " + std::to_string(arity) +
+               ")");
+        }
+        spec.kind = op == "product" ? ComposeSpec::Kind::kProduct
+                                    : ComposeSpec::Kind::kUnion;
+      } else if (op == "window") {
+        if (arity != 1) {
+          fail("window needs exactly 1 component (got " +
+               std::to_string(arity) + ")");
+        }
+        if (!has_w) fail("window needs a w member");
+        spec.kind = ComposeSpec::Kind::kWindow;
+      } else {
+        fail("unknown combinator '" + op + "'");
+      }
+    } else {
+      if (has_w || has_of) fail("spec mixes leaf and combinator members");
+      if (!has_family || !has_n || !has_param) {
+        fail("leaf needs family, n, and param members");
+      }
+      spec.kind = ComposeSpec::Kind::kLeaf;
+    }
+    return spec;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void append_json_string(std::string* out, const std::string& text) {
+  *out += '"';
+  for (const char c : text) {
+    if (c == '"' || c == '\\') *out += '\\';
+    *out += c;
+  }
+  *out += '"';
+}
+
+void append_spec(std::string* out, const ComposeSpec& spec) {
+  switch (spec.kind) {
+    case ComposeSpec::Kind::kLeaf:
+      *out += "{\"family\":";
+      append_json_string(out, spec.leaf.family);
+      *out += ",\"n\":" + std::to_string(spec.leaf.n);
+      *out += ",\"param\":" + std::to_string(spec.leaf.param) + "}";
+      return;
+    case ComposeSpec::Kind::kProduct:
+    case ComposeSpec::Kind::kUnion:
+      *out += spec.kind == ComposeSpec::Kind::kProduct ? "{\"op\":\"product\""
+                                                       : "{\"op\":\"union\"";
+      break;
+    case ComposeSpec::Kind::kWindow:
+      *out += "{\"op\":\"window\",\"w\":" + std::to_string(spec.window);
+      break;
+  }
+  *out += ",\"of\":[";
+  for (std::size_t i = 0; i < spec.children.size(); ++i) {
+    if (i > 0) *out += ',';
+    append_spec(out, spec.children[i]);
+  }
+  *out += "]}";
+}
+
+/// Families whose liveness predicate is non-trivial: composing them would
+/// silently change semantics (the combinators compose safety automata
+/// only), so the validator rejects them. Kept in sync with the
+/// is_compact() overrides of the leaf families.
+bool is_noncompact_family(const std::string& family) {
+  return family == "vssc" || family == "finite_loss";
+}
+
+const char* op_name(ComposeSpec::Kind kind) {
+  switch (kind) {
+    case ComposeSpec::Kind::kLeaf: return "leaf";
+    case ComposeSpec::Kind::kProduct: return "product";
+    case ComposeSpec::Kind::kUnion: return "union";
+    case ComposeSpec::Kind::kWindow: return "window";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ComposeSpec parse_compose_spec(std::string_view text) {
+  return SpecParser(text).parse_document();
+}
+
+std::string compose_spec_to_string(const ComposeSpec& spec) {
+  std::string out;
+  append_spec(&out, spec);
+  return out;
+}
+
+int validate_compose_spec(const ComposeSpec& spec) {
+  if (spec.kind == ComposeSpec::Kind::kLeaf) {
+    if (is_composed_family(spec.leaf.family)) {
+      fail("leaf family must be a plain family name");
+    }
+    validate_family_point(spec.leaf);
+    if (is_noncompact_family(spec.leaf.family)) {
+      fail("non-compact leaf family " + spec.leaf.family +
+           " is not composable");
+    }
+    return spec.leaf.n;
+  }
+  // Arity re-checks: the parser enforces these for parsed specs, but
+  // specs can also be built directly as structs.
+  const std::size_t arity = spec.children.size();
+  if (spec.kind == ComposeSpec::Kind::kWindow) {
+    if (arity != 1) {
+      fail("window needs exactly 1 component (got " + std::to_string(arity) +
+           ")");
+    }
+    if (spec.window < 1) {
+      fail("window w must be >= 1 (got " + std::to_string(spec.window) + ")");
+    }
+  } else if (arity < 2) {
+    fail(std::string(op_name(spec.kind)) + " needs >= 2 components (got " +
+         std::to_string(arity) + ")");
+  }
+  const int n = validate_compose_spec(spec.children.front());
+  for (std::size_t i = 1; i < spec.children.size(); ++i) {
+    const int m = validate_compose_spec(spec.children[i]);
+    if (m != n) {
+      fail("component n must be " + std::to_string(n) + " (got " +
+           std::to_string(m) + ")");
+    }
+  }
+  return n;
+}
+
+FamilyPoint composed_family_point(const ComposeSpec& spec) {
+  const int n = validate_compose_spec(spec);
+  return {std::string(kComposedPrefix) + compose_spec_to_string(spec), n, 0};
+}
+
+// ---- Combinator automata ------------------------------------------------
+
+namespace {
+
+using Parts = std::vector<std::unique_ptr<MessageAdversary>>;
+
+int parts_processes(const Parts& parts, const char* op) {
+  if (parts.empty()) {
+    fail(std::string(op) + " needs >= 1 components (got 0)");
+  }
+  const int n = parts.front()->num_processes();
+  for (const auto& part : parts) {
+    if (part->num_processes() != n) {
+      fail("component n must be " + std::to_string(n) + " (got " +
+           std::to_string(part->num_processes()) + ")");
+    }
+  }
+  return n;
+}
+
+bool contains_graph(const std::vector<Digraph>& graphs, const Digraph& g) {
+  return std::find(graphs.begin(), graphs.end(), g) != graphs.end();
+}
+
+/// Graphs present in every component's alphabet, in the first component's
+/// order. Must be nonempty before the MessageAdversary base constructor
+/// runs (it asserts a nonempty alphabet).
+std::vector<Digraph> common_alphabet(const Parts& parts) {
+  std::vector<Digraph> common;
+  for (const Digraph& g : parts.front()->alphabet()) {
+    if (contains_graph(common, g)) continue;
+    bool everywhere = true;
+    for (std::size_t p = 1; p < parts.size() && everywhere; ++p) {
+      everywhere = contains_graph(parts[p]->alphabet(), g);
+    }
+    if (everywhere) common.push_back(g);
+  }
+  if (common.empty()) fail("product alphabet is empty");
+  return common;
+}
+
+/// Ordered union: the first component's alphabet, then each later
+/// component's unseen graphs in its own order.
+std::vector<Digraph> union_alphabet(const Parts& parts) {
+  std::vector<Digraph> all;
+  for (const auto& part : parts) {
+    for (const Digraph& g : part->alphabet()) {
+      if (!contains_graph(all, g)) all.push_back(g);
+    }
+  }
+  return all;
+}
+
+std::string resolve_name(std::string name, const char* op,
+                         const Parts& parts) {
+  if (!name.empty()) return name;
+  std::string joined = std::string(op) + "(";
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    if (p > 0) joined += " & ";
+    joined += parts[p]->name();
+  }
+  return joined + ")";
+}
+
+/// Per-component letter translation: letter l of `alphabet` as an index
+/// into each component's alphabet, -1 where absent.
+std::vector<std::vector<int>> letter_maps(const std::vector<Digraph>& alphabet,
+                                          const Parts& parts) {
+  std::vector<std::vector<int>> maps(parts.size(),
+                                     std::vector<int>(alphabet.size(), -1));
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    const std::vector<Digraph>& graphs = parts[p]->alphabet();
+    for (std::size_t l = 0; l < alphabet.size(); ++l) {
+      const auto it = std::find(graphs.begin(), graphs.end(), alphabet[l]);
+      if (it != graphs.end()) {
+        maps[p][l] = static_cast<int>(it - graphs.begin());
+      }
+    }
+  }
+  return maps;
+}
+
+AdvState intern_tuple(std::map<std::vector<AdvState>, AdvState>* ids,
+                      std::vector<std::vector<AdvState>>* tuples,
+                      std::vector<AdvState> tuple) {
+  const auto [it, inserted] =
+      ids->try_emplace(tuple, static_cast<AdvState>(tuples->size()));
+  if (inserted) {
+    if (tuples->size() >= static_cast<std::size_t>(kMaxComposedStates)) {
+      fail("automaton exceeds " + std::to_string(kMaxComposedStates) +
+           " states");
+    }
+    tuples->push_back(std::move(tuple));
+  }
+  return it->second;
+}
+
+}  // namespace
+
+ProductAdversary::ProductAdversary(Parts parts, std::string name)
+    : MessageAdversary(parts_processes(parts, "product"),
+                       common_alphabet(parts),
+                       resolve_name(std::move(name), "product", parts)),
+      parts_(std::move(parts)) {
+  build_table();
+}
+
+void ProductAdversary::build_table() {
+  const int m = alphabet_size();
+  const std::size_t k = parts_.size();
+  const std::vector<std::vector<int>> part_letter =
+      letter_maps(alphabet(), parts_);
+  std::map<std::vector<AdvState>, AdvState> ids;
+  std::vector<std::vector<AdvState>> tuples;
+  std::vector<AdvState> init(k);
+  for (std::size_t p = 0; p < k; ++p) init[p] = parts_[p]->initial_state();
+  intern_tuple(&ids, &tuples, std::move(init));
+
+  for (std::size_t s = 0; s < tuples.size(); ++s) {
+    // Copy: intern_tuple below may reallocate `tuples`.
+    const std::vector<AdvState> tuple = tuples[s];
+    for (int l = 0; l < m; ++l) {
+      std::vector<AdvState> next(k);
+      bool rejected = false;
+      for (std::size_t p = 0; p < k && !rejected; ++p) {
+        const AdvState t = parts_[p]->transition(
+            tuple[p], part_letter[p][static_cast<std::size_t>(l)]);
+        rejected = t == kRejectState;
+        next[p] = t;
+      }
+      table_.push_back(rejected ? kRejectState
+                                : intern_tuple(&ids, &tuples, std::move(next)));
+    }
+  }
+
+  // Trim to the states from which an infinite non-rejecting run exists:
+  // iteratively kill states with no live successor, then redirect every
+  // transition into a killed state to reject. Afterwards the automaton is
+  // non-blocking and its prefixes are exactly the prefixes of the
+  // intersection language.
+  const std::size_t num_states = tuples.size();
+  std::vector<char> dead(num_states, 0);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t s = 0; s < num_states; ++s) {
+      if (dead[s]) continue;
+      bool alive = false;
+      for (int l = 0; l < m && !alive; ++l) {
+        const AdvState t = table_[s * static_cast<std::size_t>(m) +
+                                  static_cast<std::size_t>(l)];
+        alive = t != kRejectState && !dead[static_cast<std::size_t>(t)];
+      }
+      if (!alive) {
+        dead[s] = 1;
+        changed = true;
+      }
+    }
+  }
+  if (dead[0]) fail("product is blocking (no admissible sequences)");
+  for (AdvState& t : table_) {
+    if (t != kRejectState && dead[static_cast<std::size_t>(t)]) {
+      t = kRejectState;
+    }
+  }
+}
+
+AdvState ProductAdversary::transition(AdvState state, int letter) const {
+  return table_[static_cast<std::size_t>(state) *
+                    static_cast<std::size_t>(alphabet_size()) +
+                static_cast<std::size_t>(letter)];
+}
+
+UnionAdversary::UnionAdversary(Parts parts, std::string name)
+    : MessageAdversary(parts_processes(parts, "union"),
+                       union_alphabet(parts),
+                       resolve_name(std::move(name), "union", parts)),
+      parts_(std::move(parts)) {
+  build_table();
+}
+
+void UnionAdversary::build_table() {
+  const int m = alphabet_size();
+  const std::size_t k = parts_.size();
+  const std::vector<std::vector<int>> part_letter =
+      letter_maps(alphabet(), parts_);
+  std::map<std::vector<AdvState>, AdvState> ids;
+  std::vector<std::vector<AdvState>> tuples;
+  std::vector<AdvState> init(k);
+  for (std::size_t p = 0; p < k; ++p) init[p] = parts_[p]->initial_state();
+  intern_tuple(&ids, &tuples, std::move(init));
+
+  for (std::size_t s = 0; s < tuples.size(); ++s) {
+    const std::vector<AdvState> tuple = tuples[s];
+    for (int l = 0; l < m; ++l) {
+      std::vector<AdvState> next(k);
+      bool any_alive = false;
+      for (std::size_t p = 0; p < k; ++p) {
+        // Dead markers are monotone: a component that rejected once (or
+        // never had the letter) stays dead for the rest of the word.
+        const int pl = part_letter[p][static_cast<std::size_t>(l)];
+        next[p] = (tuple[p] == kRejectState || pl < 0)
+                      ? kRejectState
+                      : parts_[p]->transition(tuple[p], pl);
+        any_alive |= next[p] != kRejectState;
+      }
+      table_.push_back(any_alive
+                           ? intern_tuple(&ids, &tuples, std::move(next))
+                           : kRejectState);
+    }
+  }
+  // Non-blocking by construction: every reachable state has an alive,
+  // non-blocking component whose allowed letter keeps it alive.
+}
+
+AdvState UnionAdversary::transition(AdvState state, int letter) const {
+  return table_[static_cast<std::size_t>(state) *
+                    static_cast<std::size_t>(alphabet_size()) +
+                static_cast<std::size_t>(letter)];
+}
+
+std::unique_ptr<MessageAdversary> make_windowed_composition(
+    std::unique_ptr<MessageAdversary> inner, int window, std::string name) {
+  if (window < 1) {
+    fail("window w must be >= 1 (got " + std::to_string(window) + ")");
+  }
+  const int n = inner->num_processes();
+  std::vector<Digraph> graphs = inner->alphabet();
+  Parts parts;
+  parts.reserve(2);
+  auto windowed = std::make_unique<WindowedAdversary>(
+      n, std::move(graphs), window,
+      "window(" + std::to_string(window) + " over " + inner->name() + ")");
+  parts.push_back(std::move(inner));
+  parts.push_back(std::move(windowed));
+  // The windowed component's alphabet is the inner alphabet, so the
+  // common alphabet (and letter numbering) is exactly the inner one.
+  return std::make_unique<ProductAdversary>(std::move(parts),
+                                            std::move(name));
+}
+
+namespace {
+
+std::unique_ptr<MessageAdversary> build_composed(const ComposeSpec& spec) {
+  switch (spec.kind) {
+    case ComposeSpec::Kind::kLeaf:
+      return make_family_adversary(spec.leaf);
+    case ComposeSpec::Kind::kWindow:
+      return make_windowed_composition(build_composed(spec.children.front()),
+                                       spec.window,
+                                       compose_spec_to_string(spec));
+    case ComposeSpec::Kind::kProduct:
+    case ComposeSpec::Kind::kUnion: {
+      Parts parts;
+      parts.reserve(spec.children.size());
+      for (const ComposeSpec& child : spec.children) {
+        parts.push_back(build_composed(child));
+      }
+      if (spec.kind == ComposeSpec::Kind::kProduct) {
+        return std::make_unique<ProductAdversary>(
+            std::move(parts), compose_spec_to_string(spec));
+      }
+      return std::make_unique<UnionAdversary>(std::move(parts),
+                                              compose_spec_to_string(spec));
+    }
+  }
+  throw std::logic_error("make_composed_adversary: unhandled spec kind");
+}
+
+}  // namespace
+
+std::unique_ptr<MessageAdversary> make_composed_adversary(
+    const ComposeSpec& spec) {
+  validate_compose_spec(spec);
+  return build_composed(spec);
+}
+
+}  // namespace topocon

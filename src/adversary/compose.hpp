@@ -1,0 +1,160 @@
+// Algebraic combinators over message adversaries, plus the canonical
+// spec codec that threads composed adversaries through the FamilyPoint
+// machinery (grids, queries, checkpoints, CSV) unchanged.
+//
+// Semantics (sets of admissible infinite graph sequences):
+//
+//   product   intersection. The safety automaton is the synchronous
+//             product over the COMMON alphabet (graphs present in every
+//             component's alphabet, in the first component's order),
+//             trimmed to the states from which an infinite non-rejecting
+//             run exists -- the library's non-blocking invariant
+//             (adversary.hpp) demands exactly that trim, and it is what
+//             makes the depth-t prefix space the true prefix set of the
+//             intersection rather than of the pairwise prefix overlap.
+//   union     set union. The automaton runs every component in parallel
+//             over the UNION alphabet and marks components dead once
+//             they reject (letter absent from their alphabet or safety
+//             violated); the word is rejected only when every component
+//             is dead. Dead markers are monotone, so an infinite
+//             non-rejected run keeps some component alive forever:
+//             the accepted language is exactly the union. Non-blocking
+//             components make the union non-blocking with no trim.
+//   window    repetition constraint: window(w, A) is the product of A
+//             with a WindowedAdversary over A's alphabet (windowed.hpp)
+//             -- the "keep each graph >= w rounds" combinator, reusing
+//             the existing windowed safety automaton as a component.
+//
+// Only COMPACT (limit-closed) components are composable: intersections
+// and unions of closed sets are closed, so every composed adversary is
+// again compact and the default liveness/sampling hooks stay exact. The
+// non-compact families (vssc, finite_loss) are rejected by the spec
+// validator.
+//
+// Spec codec. A composed FamilyPoint encodes the whole combinator tree
+// in its family string: `family = "composed:" + canonical JSON`,
+// param = 0, n = the components' common process count. The canonical
+// JSON is compact (no whitespace, fixed member order):
+//
+//   leaf     {"family":"omission","n":3,"param":1}
+//   product  {"op":"product","of":[SPEC,SPEC,...]}     (>= 2 components)
+//   union    {"op":"union","of":[SPEC,SPEC,...]}       (>= 2 components)
+//   window   {"op":"window","w":2,"of":[SPEC]}         (exactly 1)
+//
+// parse_compose_spec accepts insignificant whitespace and members in any
+// order but nothing beyond the canonical set;
+// compose_spec_to_string(parse_compose_spec(s)) is the canonical form.
+// The codec is hand-rolled here because the adversary layer sits below
+// the runtime layer that owns the sweep JSON reader (src/CMakeLists.txt
+// layering).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "adversary/family.hpp"
+
+namespace topocon {
+
+/// One node of a composed-adversary spec tree.
+struct ComposeSpec {
+  enum class Kind { kLeaf, kProduct, kUnion, kWindow };
+  Kind kind = Kind::kLeaf;
+  /// The grid point of a kLeaf node (must be a compact family).
+  FamilyPoint leaf;
+  /// The repetition window of a kWindow node (>= 1).
+  int window = 0;
+  /// Component subtrees of a combinator node.
+  std::vector<ComposeSpec> children;
+};
+
+/// The family-string prefix marking a composed point.
+inline constexpr std::string_view kComposedPrefix = "composed:";
+
+/// True iff the family string encodes a composed spec.
+bool is_composed_family(std::string_view family);
+
+/// The spec JSON of a composed family string (the part after the
+/// "composed:" prefix). Precondition: is_composed_family(family).
+std::string_view composed_spec_of(std::string_view family);
+
+/// Parses a spec document. Throws std::invalid_argument with a message
+/// starting "composed: " on malformed JSON, unknown members, unknown
+/// combinators, or arity violations. Leaf grid points are NOT validated
+/// here (see validate_compose_spec).
+ComposeSpec parse_compose_spec(std::string_view text);
+
+/// Canonical compact serialization (the label of a composed point).
+std::string compose_spec_to_string(const ComposeSpec& spec);
+
+/// Structural validation beyond the grammar: every leaf is a valid,
+/// compact family point and every node's components agree on the process
+/// count. Returns that common count. Throws std::invalid_argument (leaf
+/// errors carry the family layer's exact message).
+int validate_compose_spec(const ComposeSpec& spec);
+
+/// The FamilyPoint encoding of a spec ("composed:" + canonical JSON).
+FamilyPoint composed_family_point(const ComposeSpec& spec);
+
+/// Builds the composed adversary (validate_compose_spec first). May
+/// additionally throw for degenerate compositions: an empty product
+/// alphabet, a blocking (empty-language) product, or an automaton
+/// exceeding the composed-state cap.
+std::unique_ptr<MessageAdversary> make_composed_adversary(
+    const ComposeSpec& spec);
+
+/// Intersection of the component adversaries (see the header comment).
+/// Requires >= 1 components with equal process counts; throws
+/// std::invalid_argument when the common alphabet is empty, when the
+/// trimmed automaton rejects everything, or when the product automaton
+/// exceeds kMaxComposedStates.
+class ProductAdversary : public MessageAdversary {
+ public:
+  explicit ProductAdversary(
+      std::vector<std::unique_ptr<MessageAdversary>> parts,
+      std::string name = {});
+
+  AdvState transition(AdvState state, int letter) const override;
+
+ private:
+  void build_table();
+
+  std::vector<std::unique_ptr<MessageAdversary>> parts_;
+  /// Flat trimmed transition table: table_[state * alphabet + letter].
+  std::vector<AdvState> table_;
+};
+
+/// Union of the component adversaries (see the header comment).
+/// Requires >= 1 components with equal process counts; throws
+/// std::invalid_argument when the automaton exceeds kMaxComposedStates.
+class UnionAdversary : public MessageAdversary {
+ public:
+  explicit UnionAdversary(
+      std::vector<std::unique_ptr<MessageAdversary>> parts,
+      std::string name = {});
+
+  AdvState transition(AdvState state, int letter) const override;
+
+ private:
+  void build_table();
+
+  std::vector<std::unique_ptr<MessageAdversary>> parts_;
+  /// Flat transition table: table_[state * alphabet + letter].
+  std::vector<AdvState> table_;
+};
+
+/// window(w, inner): the product of `inner` with a WindowedAdversary
+/// over inner's alphabet -- forces every played graph to repeat for at
+/// least `window` consecutive rounds.
+std::unique_ptr<MessageAdversary> make_windowed_composition(
+    std::unique_ptr<MessageAdversary> inner, int window,
+    std::string name = {});
+
+/// Cap on the eagerly-built composed automaton (product/union tuple
+/// states); compositions beyond it are rejected as operator error.
+inline constexpr int kMaxComposedStates = 100'000;
+
+}  // namespace topocon

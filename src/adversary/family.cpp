@@ -4,6 +4,7 @@
 #include <climits>
 #include <stdexcept>
 
+#include "adversary/compose.hpp"
 #include "adversary/finite_loss.hpp"
 #include "adversary/heard_of.hpp"
 #include "adversary/lossy_link.hpp"
@@ -21,6 +22,11 @@ const std::vector<std::string>& known_families() {
 }
 
 std::string family_point_label(const FamilyPoint& point) {
+  if (is_composed_family(point.family)) {
+    // The spec JSON exactly as carried by the family string: the label
+    // alone replays the point (parse_compose_spec round-trips it).
+    return std::string(composed_spec_of(point.family));
+  }
   if (point.family == "lossy_link") {
     return lossy_link_subset_name(static_cast<unsigned>(point.param));
   }
@@ -74,6 +80,18 @@ constexpr long long kMaxGridPoints = 100'000;
 }  // namespace
 
 FamilyParamRange family_param_range(const std::string& family, int n) {
+  if (is_composed_family(family)) {
+    // Parsing + structural validation of the embedded spec; the point's
+    // n must equal the components' common process count.
+    const ComposeSpec spec = parse_compose_spec(composed_spec_of(family));
+    const int spec_n = validate_compose_spec(spec);
+    if (n != spec_n) {
+      throw std::invalid_argument("composed: n must be " +
+                                  std::to_string(spec_n) + " (got " +
+                                  std::to_string(n) + ")");
+    }
+    return {0, 0, "unused (must be 0)"};
+  }
   if (family == "lossy_link") {
     if (n != 2) fail_point(family, "n must be 2", n);
     return {1, 7, "subset mask over {<-, ->, <->}"};
@@ -104,6 +122,16 @@ FamilyParamRange family_param_range(const std::string& family, int n) {
 }
 
 void validate_family_point(const FamilyPoint& point) {
+  if (is_composed_family(point.family)) {
+    family_param_range(point.family, point.n);  // spec + n validation
+    if (point.param != 0) {
+      // Not the generic range message: it would prefix the whole spec
+      // string instead of the "composed" family tag.
+      throw std::invalid_argument("composed: param must be 0 (got " +
+                                  std::to_string(point.param) + ")");
+    }
+    return;
+  }
   check_param_in_range(point.family,
                        family_param_range(point.family, point.n),
                        point.param);
@@ -145,6 +173,10 @@ std::vector<FamilyPoint> family_grid(const std::string& family, int n,
 std::unique_ptr<MessageAdversary> make_family_adversary(
     const FamilyPoint& point) {
   validate_family_point(point);
+  if (is_composed_family(point.family)) {
+    return make_composed_adversary(
+        parse_compose_spec(composed_spec_of(point.family)));
+  }
   if (point.family == "lossy_link") {
     return make_lossy_link(static_cast<unsigned>(point.param));
   }

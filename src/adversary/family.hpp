@@ -21,13 +21,24 @@ namespace topocon {
 ///   windowed_lossy_link -- repetition window w (>= 1); n = 2.
 ///   vssc                -- stability window length (>= 1).
 ///   finite_loss         -- unused (0).
+///
+/// Beyond the named grid families, a point whose family string starts
+/// with "composed:" carries a whole combinator tree (product/union/
+/// window over compact families) as canonical JSON in the family string
+/// itself; param is unused (0) and n must equal the components' common
+/// process count. See adversary/compose.hpp for the spec grammar. The
+/// encoding makes composed adversaries ride through every FamilyPoint
+/// consumer -- queries, sweeps, checkpoints, resume -- unchanged.
 struct FamilyPoint {
   std::string family;
   int n = 2;
   int param = 0;
 };
 
-/// The families make_family_adversary accepts, in canonical order.
+/// The named grid families make_family_adversary accepts, in canonical
+/// order. Composed points ("composed:..." family strings) are accepted
+/// too but not enumerated here -- their space is a tree grammar, not a
+/// list.
 const std::vector<std::string>& known_families();
 
 /// Short human/JSON label of a point, e.g. "n=3 f=1" or "{<-, ->}".

@@ -43,6 +43,16 @@
 //     entries, the worst-case decision round, and the per-round entry
 //     counts (the integer form of the early-decision profile).
 //
+// Grid points are not limited to the hand-written families: a
+// FamilyPoint whose family string is "composed:" + a canonical spec
+// JSON (adversary/compose.hpp) names an algebraic composition --
+// products, unions, and window constraints over compact families --
+// and flows through every query variant, checkpoint, and renderer
+// unchanged. Its label is the spec itself, so any result row can be
+// replayed by pasting the label back into a point (the seeded fuzzer
+// behind `topocon fuzz` and the fuzz-composed scenario relies on
+// exactly this).
+//
 // One session, any mix of queries:
 //
 //   topocon::api::Session session;                 // owns the pool

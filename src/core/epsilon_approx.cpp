@@ -248,6 +248,55 @@ DepthAnalysis analyze_depth(const MessageAdversary& adversary,
   return analysis;
 }
 
+DepthAnalysis analyze_depth_oracle(const MessageAdversary& adversary,
+                                   const AnalysisOptions& options,
+                                   std::shared_ptr<ViewInterner> interner) {
+  const int n = adversary.num_processes();
+  DepthAnalysis analysis;
+  analysis.num_values = options.num_values;
+  analysis.num_processes = n;
+  analysis.interner =
+      interner ? std::move(interner) : std::make_shared<ViewInterner>();
+
+  // The serial reference loop, mirroring the engine's bookkeeping exactly:
+  // level 0 seeds the history with {-1, -1} parents (FrontierEngine's
+  // constructor does the same), an overflowing level sets truncated and
+  // keeps the last complete frontier.
+  const int num_roots =
+      static_cast<int>(all_input_vectors(n, options.num_values).size());
+  std::vector<PrefixState> frontier = initial_frontier(
+      adversary, options, *analysis.interner, 0, num_roots);
+  if (options.keep_levels) {
+    analysis.levels.push_back(frontier);
+    analysis.first_parent.push_back(
+        std::vector<std::pair<int, int>>(frontier.size(), {-1, -1}));
+  }
+  int level = 0;
+  for (int s = 1; s <= options.depth; ++s) {
+    FrontierLevel next =
+        expand_frontier(adversary, *analysis.interner, frontier,
+                        options.max_states, options.keep_levels);
+    if (next.overflow) {
+      analysis.truncated = true;
+      break;
+    }
+    frontier = std::move(next.states);
+    ++level;
+    if (options.keep_levels) {
+      analysis.levels.push_back(frontier);
+      analysis.first_parent.push_back(std::move(next.first_parent));
+      analysis.children.push_back(std::move(next.children));
+    }
+  }
+  analysis.depth = level;
+  if (!options.keep_levels) {
+    analysis.levels.push_back(std::move(frontier));
+  }
+
+  compute_components(options, analysis);
+  return analysis;
+}
+
 std::optional<RunPrefix> reconstruct_prefix(const MessageAdversary& adversary,
                                             const DepthAnalysis& analysis,
                                             int leaf_index) {

@@ -165,6 +165,18 @@ DepthAnalysis analyze_depth(const MessageAdversary& adversary,
                             const AnalysisOptions& options,
                             std::shared_ptr<ViewInterner> interner = nullptr);
 
+/// REFERENCE implementation of analyze_depth(): the identical analysis
+/// driven by the single-scan initial_frontier()/expand_frontier() calls
+/// below instead of the chunked FrontierEngine. Every field of the
+/// result -- levels, links, multiplicities, truncation, components, and
+/// the interner's id assignment order -- must be bit-identical to
+/// analyze_depth() at every chunk size and thread count; the fuzz
+/// differential harness (tests/fuzz_differential_test.cpp, `topocon
+/// fuzz`) asserts exactly that on randomly composed adversaries.
+DepthAnalysis analyze_depth_oracle(
+    const MessageAdversary& adversary, const AnalysisOptions& options,
+    std::shared_ptr<ViewInterner> interner = nullptr);
+
 // ---- Frontier API -------------------------------------------------------
 //
 // The BFS over the admissible-prefix space, exposed level by level. The

@@ -31,6 +31,16 @@ SolvabilityResult check_solvability(const MessageAdversary& adversary,
       });
 }
 
+SolvabilityResult check_solvability_oracle(const MessageAdversary& adversary,
+                                           const SolvabilityOptions& options) {
+  return check_solvability_with(
+      adversary, options,
+      [&adversary](const AnalysisOptions& analysis_options,
+                   const std::shared_ptr<ViewInterner>& interner) {
+        return analyze_depth_oracle(adversary, analysis_options, interner);
+      });
+}
+
 SolvabilityResult check_solvability_with(const MessageAdversary& adversary,
                                          const SolvabilityOptions& options,
                                          const DepthAnalyzeFn& analyze,

@@ -92,6 +92,16 @@ struct SolvabilityResult {
 SolvabilityResult check_solvability(const MessageAdversary& adversary,
                                     const SolvabilityOptions& options = {});
 
+/// REFERENCE implementation of check_solvability(): the same iterative-
+/// deepening driver (check_solvability_with) over analyze_depth_oracle,
+/// the single-scan expansion, instead of the chunked FrontierEngine.
+/// Verdict, certified depth, per-depth statistics (including interned-
+/// view counts), and the final analysis must be identical to the serial
+/// checker and to parallel_check_solvability at every chunk size and
+/// thread count; the fuzz differential harness asserts exactly that.
+SolvabilityResult check_solvability_oracle(
+    const MessageAdversary& adversary, const SolvabilityOptions& options = {});
+
 /// The iterative-deepening driver behind check_solvability, parameterized
 /// over the per-depth analysis: `analyze` receives the depth's
 /// AnalysisOptions and the interner shared across all depths of this

@@ -1,0 +1,141 @@
+#include "scenario/fuzz.hpp"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "adversary/compose.hpp"
+
+namespace topocon::scenario {
+
+namespace {
+
+/// Uniform-enough choice in [0, bound) with a fully specified mapping
+/// (std::uniform_int_distribution is implementation-defined and would
+/// break cross-platform replay). The modulus bias is irrelevant here --
+/// the fuzzer only needs determinism, not exact uniformity.
+int pick(std::mt19937_64& rng, int bound) {
+  return static_cast<int>(rng() % static_cast<std::uint64_t>(bound));
+}
+
+FamilyPoint gen_leaf(std::mt19937_64& rng, int n) {
+  if (n == 2) {
+    switch (pick(rng, 4)) {
+      case 0: return {"lossy_link", 2, 1 + pick(rng, 7)};
+      case 1: return {"omission", 2, pick(rng, 3)};
+      case 2: return {"heard_of", 2, 1 + pick(rng, 2)};
+      default: return {"windowed_lossy_link", 2, 1 + pick(rng, 3)};
+    }
+  }
+  // Larger n: stick to the two families whose alphabets stay moderate.
+  // heard_of below k = n-1 explodes combinatorially (k = 1 at n = 3 is
+  // already all 64 graphs), so only the top of its range is drawn.
+  if (pick(rng, 2) == 0) {
+    const int max_f = std::min(2, n * (n - 1));
+    return {"omission", n, pick(rng, max_f + 1)};
+  }
+  return {"heard_of", n, n - 1 + pick(rng, 2)};
+}
+
+ComposeSpec gen_spec(std::mt19937_64& rng, int n, int depth) {
+  if (depth <= 0 || pick(rng, 3) == 0) {
+    ComposeSpec spec;
+    spec.kind = ComposeSpec::Kind::kLeaf;
+    spec.leaf = gen_leaf(rng, n);
+    return spec;
+  }
+  ComposeSpec spec;
+  switch (pick(rng, 3)) {
+    case 0: spec.kind = ComposeSpec::Kind::kProduct; break;
+    case 1: spec.kind = ComposeSpec::Kind::kUnion; break;
+    default: spec.kind = ComposeSpec::Kind::kWindow; break;
+  }
+  if (spec.kind == ComposeSpec::Kind::kWindow) {
+    spec.window = 2 + pick(rng, 2);
+    spec.children.push_back(gen_spec(rng, n, depth - 1));
+  } else {
+    spec.children.push_back(gen_spec(rng, n, depth - 1));
+    spec.children.push_back(gen_spec(rng, n, depth - 1));
+  }
+  return spec;
+}
+
+/// Top-level candidates are always combinators: a bare leaf is a grid
+/// point, not a composed one.
+ComposeSpec gen_composed(std::mt19937_64& rng, int n, int depth) {
+  ComposeSpec spec = gen_spec(rng, n, std::max(depth, 1));
+  while (spec.kind == ComposeSpec::Kind::kLeaf) {
+    spec = gen_spec(rng, n, std::max(depth, 1));
+  }
+  return spec;
+}
+
+/// Compositions past these caps are discarded: the differential harness
+/// runs every point through several full solvability pipelines, so the
+/// per-point cost must stay bounded.
+constexpr int kMaxFuzzAlphabet = 40;
+
+}  // namespace
+
+std::vector<FamilyPoint> fuzz_points(const FuzzSpec& spec) {
+  if (spec.count < 1) {
+    throw std::invalid_argument("fuzz: count must be >= 1 (got " +
+                                std::to_string(spec.count) + ")");
+  }
+  if (spec.n < 2) {
+    throw std::invalid_argument("fuzz: n must be >= 2 (got " +
+                                std::to_string(spec.n) + ")");
+  }
+  if (spec.depth < 0) {
+    throw std::invalid_argument("fuzz: depth must be >= 0 (got " +
+                                std::to_string(spec.depth) + ")");
+  }
+  std::mt19937_64 rng(spec.seed);
+  std::vector<FamilyPoint> points;
+  std::set<std::string> seen;
+  // Degenerate and duplicate candidates are discarded deterministically;
+  // the attempt cap only guards against a pathological spec whose space
+  // is smaller than `count`.
+  const long long max_attempts =
+      static_cast<long long>(spec.count) * 1000 + 1000;
+  for (long long attempt = 0;
+       static_cast<int>(points.size()) < spec.count; ++attempt) {
+    if (attempt >= max_attempts) {
+      throw std::invalid_argument(
+          "fuzz: could not draw " + std::to_string(spec.count) +
+          " distinct composed points (space too small for this spec?)");
+    }
+    const ComposeSpec candidate = gen_composed(rng, spec.n, spec.depth);
+    FamilyPoint point;
+    try {
+      point = composed_family_point(candidate);
+      const auto adversary = make_composed_adversary(candidate);
+      if (adversary->alphabet_size() > kMaxFuzzAlphabet) continue;
+    } catch (const std::invalid_argument&) {
+      continue;  // empty/blocking product, oversized automaton, ...
+    }
+    if (!seen.insert(point.family).second) continue;
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+SolvabilityOptions fuzz_solve_options(int n) {
+  SolvabilityOptions options;
+  options.max_depth = n == 2 ? 4 : 2;
+  options.max_states = 200'000;
+  options.build_table = false;
+  return options;
+}
+
+std::vector<api::Query> fuzz_queries(const FuzzSpec& spec) {
+  std::vector<api::Query> queries;
+  for (const FamilyPoint& point : fuzz_points(spec)) {
+    queries.push_back(api::solvability(point, fuzz_solve_options(spec.n)));
+  }
+  return queries;
+}
+
+}  // namespace topocon::scenario

@@ -1,0 +1,60 @@
+// Seeded composed-adversary fuzzer: deterministically expands a
+// (seed, n, depth, count) spec into `count` distinct composed
+// FamilyPoints (adversary/compose.hpp) -- the generator behind the
+// fuzz-composed scenario, the `topocon fuzz` differential harness, and
+// tests/fuzz_differential_test.cpp.
+//
+// Reproducibility contract: the expansion is a pure function of the
+// FuzzSpec. The generator draws from a std::mt19937_64 (whose output
+// sequence the standard fully specifies) and maps draws to choices with
+// plain modulus -- never through std::uniform_int_distribution, whose
+// mapping is implementation-defined -- so the same spec yields the same
+// point list on every platform, compiler, and thread count. Every
+// emitted point is replayable from its label alone: the label is the
+// canonical spec JSON, and `"composed:" + label` rebuilds the point.
+//
+// Candidates that compose to a degenerate adversary (empty product
+// alphabet, blocking product, oversized automaton or alphabet) are
+// deterministically discarded and redrawn, and duplicates are skipped,
+// so the emitted list contains `count` distinct constructible points.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adversary/family.hpp"
+#include "api/query.hpp"
+#include "core/solvability.hpp"
+
+namespace topocon::scenario {
+
+/// The fuzzer's whole input state; see the header comment.
+struct FuzzSpec {
+  /// Generator seed (`topocon fuzz --seed`).
+  std::uint64_t seed = 6;
+  /// Process count of every composed point.
+  int n = 2;
+  /// Maximum combinator nesting depth of a generated spec tree.
+  int depth = 2;
+  /// Number of distinct points to emit (`topocon fuzz --count`).
+  int count = 8;
+};
+
+/// Deterministically expands the spec into `count` distinct composed
+/// points (family = "composed:" + canonical JSON, param = 0). Throws
+/// std::invalid_argument for a non-positive count, an n < 2, or a
+/// negative depth.
+std::vector<FamilyPoint> fuzz_points(const FuzzSpec& spec);
+
+/// The solvability options the fuzz harness runs every point under:
+/// shallow deepening (depth 4 at n = 2, else 2), a small state budget,
+/// and no decision-table extraction -- tuned so a full differential
+/// comparison (oracle + serial + parallel at several chunk sizes and
+/// thread counts) stays cheap per point.
+SolvabilityOptions fuzz_solve_options(int n);
+
+/// One solvability query per fuzzed point, under fuzz_solve_options --
+/// the fuzz-composed scenario's plan.
+std::vector<api::Query> fuzz_queries(const FuzzSpec& spec);
+
+}  // namespace topocon::scenario

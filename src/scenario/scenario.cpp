@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "adversary/family.hpp"
+#include "scenario/fuzz.hpp"
 
 namespace topocon::scenario {
 
@@ -155,6 +156,54 @@ std::vector<Query> build_decision_tables(const GridOverrides& overrides) {
   return queries;
 }
 
+std::vector<Query> build_fuzz_composed(const GridOverrides& overrides) {
+  FuzzSpec spec;
+  spec.n = overrides.n.value_or(2);
+  // The generic grid knobs are repurposed (documented in the scenario
+  // description): --param-min is the seed, --param-max the point count.
+  if (overrides.param_min.has_value()) {
+    if (*overrides.param_min < 0) {
+      throw std::invalid_argument(
+          "fuzz-composed: the seed (--param-min) must be >= 0");
+    }
+    spec.seed = static_cast<std::uint64_t>(*overrides.param_min);
+  }
+  if (overrides.param_max.has_value()) {
+    spec.count = *overrides.param_max;
+  }
+  return fuzz_queries(spec);
+}
+
+std::vector<Query> build_atlas(const GridOverrides&) {
+  // One fixed family x n x param grid into a single solvability map; the
+  // per-leg depth bounds are the smallest that still certify each leg's
+  // whole solvable frontier (e.g. omission n=3 certifies f <= 1 by
+  // depth 2, see tests/golden/omission-n3.json), so the map is exact yet
+  // cheap enough to diff byte-for-byte in every CI configuration.
+  std::vector<Query> queries;
+  const auto add = [&queries](const char* family, int n, int param_min,
+                              int param_max, int max_depth,
+                              std::size_t max_states) {
+    SolvabilityOptions options;
+    options.max_depth = max_depth;
+    options.max_states = max_states;
+    options.build_table = false;
+    for (const FamilyPoint& point :
+         family_grid(family, n, param_min, param_max)) {
+      queries.push_back(api::solvability(point, options));
+    }
+  };
+  add("lossy_link", 2, 1, 7, 6, 2'000'000);
+  add("windowed_lossy_link", 2, 1, 3, 4, 2'000'000);
+  add("omission", 2, 0, 2, 6, 2'000'000);
+  add("omission", 3, 0, 6, 2, 1'000'000);
+  add("heard_of", 2, 1, 2, 5, 2'000'000);
+  add("heard_of", 3, 1, 3, 2, 1'000'000);
+  add("vssc", 2, 1, 2, 2, 2'000'000);
+  add("finite_loss", 2, 0, 0, 3, 2'000'000);
+  return queries;
+}
+
 std::vector<Scenario> make_catalog() {
   std::vector<Scenario> scenarios;
   scenarios.push_back(Scenario{
@@ -219,6 +268,38 @@ std::vector<Scenario> make_catalog() {
       "permanently merged). Fixed grid; no overrides.",
       /*supports_n=*/false, /*supports_param_range=*/false,
       build_convergence_curves});
+  scenarios.push_back(Scenario{
+      "fuzz-composed",
+      "Seeded random composed adversaries (product/union/window) "
+      "(default: seed 6, 8 points)",
+      "Runs the seeded composed-adversary fuzzer (scenario/fuzz.hpp)\n"
+      "through the full Session/checkpoint/resume path: each job is one\n"
+      "randomly composed adversary -- products, unions, and repetition\n"
+      "windows over the compact grid families (adversary/compose.hpp) --\n"
+      "whose label is its canonical spec JSON, replayable on its own.\n"
+      "The expansion is a pure function of (seed, n, count), so runs and\n"
+      "resumes are byte-identical at every thread count. The overrides\n"
+      "are repurposed: --n is the process count, --param-min the seed,\n"
+      "--param-max the point count. The differential twin of this\n"
+      "scenario is `topocon fuzz`, which re-checks every point against\n"
+      "the single-scan reference oracle.",
+      /*supports_n=*/true, /*supports_param_range=*/true,
+      build_fuzz_composed});
+  scenarios.push_back(Scenario{
+      "atlas",
+      "The cross-family solvability atlas: every family, one CSV map",
+      "A fixed family x n x parameter sweep across all six grid families\n"
+      "into one solvability/decision-depth map, rendered via\n"
+      "--format=csv into a single plottable artifact (one row per\n"
+      "deepening step per point). Depth bounds are per leg and chosen to\n"
+      "certify each leg's whole solvable frontier: lossy_link (n=2,\n"
+      "depth 6), windowed_lossy_link (w=1..3, depth 4), omission (n=2\n"
+      "depth 6; n=3 depth 2), heard_of (n=2 depth 5; n=3 depth 2), plus\n"
+      "the non-compact vssc and finite_loss closures, which stay merged\n"
+      "at every depth (Section 6.3). Fixed grid; no overrides. The CSV\n"
+      "is committed as tests/golden/atlas.csv and diffed byte-for-byte\n"
+      "at several thread counts and chunk sizes by ctest.",
+      /*supports_n=*/false, /*supports_param_range=*/false, build_atlas});
   scenarios.push_back(Scenario{
       "decision-tables",
       "Universal-algorithm extraction (Theorem 5.5) for the n=2 atlas",

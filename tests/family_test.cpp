@@ -79,6 +79,77 @@ TEST(FamilyValidation, FiniteLoss) {
             2);
 }
 
+TEST(FamilyValidation, ComposedSpecGrammarErrors) {
+  expect_invalid(
+      {R"(composed:{"op":"interleave","of":[{"family":"omission","n":2,"param":1},{"family":"omission","n":2,"param":0}]})",
+       2, 0},
+      "composed: unknown combinator 'interleave'");
+  expect_invalid(
+      {R"(composed:{"op":"product","of":[{"family":"omission","n":2,"param":1}]})",
+       2, 0},
+      "composed: product needs >= 2 components (got 1)");
+  expect_invalid(
+      {R"(composed:{"op":"union","of":[{"family":"omission","n":2,"param":1}]})",
+       2, 0},
+      "composed: union needs >= 2 components (got 1)");
+  expect_invalid(
+      {R"(composed:{"op":"window","w":2,"of":[{"family":"omission","n":2,"param":1},{"family":"omission","n":2,"param":0}]})",
+       2, 0},
+      "composed: window needs exactly 1 component (got 2)");
+  expect_invalid(
+      {R"(composed:{"op":"window","of":[{"family":"omission","n":2,"param":1}]})",
+       2, 0},
+      "composed: window needs a w member");
+  expect_invalid(
+      {R"(composed:{"op":"product","bogus":1,"of":[{"family":"omission","n":2,"param":1},{"family":"omission","n":2,"param":0}]})",
+       2, 0},
+      "composed: unknown member 'bogus'");
+}
+
+TEST(FamilyValidation, ComposedSpecSemanticErrors) {
+  // Components must agree on the process count...
+  expect_invalid(
+      {R"(composed:{"op":"product","of":[{"family":"omission","n":3,"param":1},{"family":"omission","n":2,"param":0}]})",
+       3, 0},
+      "composed: component n must be 3 (got 2)");
+  // ...and the point's n must equal that common count.
+  expect_invalid(
+      {R"(composed:{"op":"union","of":[{"family":"omission","n":3,"param":1},{"family":"omission","n":3,"param":0}]})",
+       2, 0},
+      "composed: n must be 3 (got 2)");
+  // The param slot is unused for composed points; the spec is the label.
+  expect_invalid(
+      {R"(composed:{"op":"union","of":[{"family":"omission","n":2,"param":1},{"family":"omission","n":2,"param":0}]})",
+       2, 1},
+      "composed: param must be 0 (got 1)");
+  // Only compact leaves compose (closedness under product/union is what
+  // keeps the default liveness hooks exact).
+  expect_invalid(
+      {R"(composed:{"op":"window","w":2,"of":[{"family":"vssc","n":2,"param":1}]})",
+       2, 0},
+      "composed: non-compact leaf family vssc is not composable");
+  expect_invalid(
+      {R"(composed:{"op":"window","w":0,"of":[{"family":"omission","n":2,"param":1}]})",
+       2, 0},
+      "composed: window w must be >= 1 (got 0)");
+  // Leaf errors surface the family layer's own exact message.
+  expect_invalid(
+      {R"(composed:{"op":"window","w":2,"of":[{"family":"lossy_link","n":2,"param":9}]})",
+       2, 0},
+      "lossy_link: param must be in [1, 7] (got 9)");
+}
+
+TEST(FamilyValidation, ComposedPointsBuildAndLabelAsTheSpec) {
+  const std::string spec =
+      R"({"op":"product","of":[{"family":"lossy_link","n":2,"param":7},{"family":"lossy_link","n":2,"param":3}]})";
+  const FamilyPoint point{"composed:" + spec, 2, 0};
+  EXPECT_EQ(family_point_label(point), spec);
+  const FamilyParamRange range = family_param_range(point.family, 2);
+  EXPECT_EQ(range.min, 0);
+  EXPECT_EQ(range.max, 0);
+  EXPECT_EQ(make_family_adversary(point)->num_processes(), 2);
+}
+
 TEST(FamilyValidation, EveryKnownFamilyHasARangeAndBuilds) {
   for (const std::string& family : known_families()) {
     const int n = 2;  // valid for every family

@@ -1,16 +1,19 @@
 # Golden-compatibility check for the Session/Query redesign, run via
-# `cmake -P`: `topocon run SCENARIO --json` must reproduce the committed
-# pre-redesign topocon-sweep-v1 document byte for byte, at every
-# requested thread count.
+# `cmake -P`: `topocon run SCENARIO --json` (or, with -DFORMAT=csv, the
+# scenario's CSV rendering on stdout) must reproduce the committed
+# reference artifact byte for byte, at every requested thread count.
 #
 # Inputs (all -D):
 #   TOPOCON_CLI  path to the topocon binary
 #   SCENARIO     scenario name to run
-#   GOLDEN       committed reference document (tests/golden/*.json)
+#   GOLDEN       committed reference artifact (tests/golden/*)
 #   THREADS      comma-separated thread counts to verify, e.g. "1,2,8"
 #   WORK_DIR     scratch directory (recreated)
 #   RUN_FLAGS    optional extra flags for `run` (semicolon-separated),
 #                e.g. "--chunk=1" to force finest sub-root sharding
+#   FORMAT       "json" (default): capture the --json document;
+#                "csv": capture `run --format=csv` stdout (status lines
+#                go to stderr in csv mode, so stdout is the artifact)
 
 foreach(var TOPOCON_CLI SCENARIO GOLDEN THREADS WORK_DIR)
   if(NOT DEFINED ${var})
@@ -20,6 +23,9 @@ endforeach()
 if(NOT DEFINED RUN_FLAGS)
   set(RUN_FLAGS "")
 endif()
+if(NOT DEFINED FORMAT)
+  set(FORMAT "json")
+endif()
 
 string(REPLACE "," ";" THREADS "${THREADS}")
 
@@ -27,13 +33,22 @@ file(REMOVE_RECURSE "${WORK_DIR}")
 file(MAKE_DIRECTORY "${WORK_DIR}")
 
 foreach(threads IN LISTS THREADS)
-  set(artifact "${WORK_DIR}/t${threads}.json")
-  execute_process(
-    COMMAND ${TOPOCON_CLI} run ${SCENARIO} ${RUN_FLAGS} --threads=${threads}
-            --json=${artifact}
-    RESULT_VARIABLE code
-    OUTPUT_VARIABLE output
-    ERROR_VARIABLE output)
+  set(artifact "${WORK_DIR}/t${threads}.${FORMAT}")
+  if(FORMAT STREQUAL "csv")
+    execute_process(
+      COMMAND ${TOPOCON_CLI} run ${SCENARIO} ${RUN_FLAGS}
+              --threads=${threads} --format=csv
+      RESULT_VARIABLE code
+      OUTPUT_FILE ${artifact}
+      ERROR_VARIABLE output)
+  else()
+    execute_process(
+      COMMAND ${TOPOCON_CLI} run ${SCENARIO} ${RUN_FLAGS}
+              --threads=${threads} --json=${artifact}
+      RESULT_VARIABLE code
+      OUTPUT_VARIABLE output
+      ERROR_VARIABLE output)
+  endif()
   if(NOT code EQUAL 0)
     message(FATAL_ERROR
       "topocon run ${SCENARIO} ${RUN_FLAGS} --threads=${threads} exited "

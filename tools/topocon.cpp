@@ -7,6 +7,7 @@
 //                        [--format=table|csv]
 //                        [--n=N] [--param-min=V] [--param-max=V]
 //   topocon resume PATH [--threads=N] [--chunk=N] [--format=table|csv]
+//   topocon fuzz [--seed=N] [--count=N] [--n=N] [--depth=N] [--threads=N]
 //   topocon bench [BINARY...] [--bench-dir=PATH] [--filter=REGEX]
 //                 [--repetitions=N] [--json=PATH]
 //
@@ -32,6 +33,17 @@
 // terminal, so piped or redirected invocations (including `--json` runs
 // under CI) stay byte-clean.
 //
+// `fuzz` is the composed-adversary differential harness: it expands the
+// seeded fuzzer (scenario/fuzz.hpp) into `--count` composed points and
+// runs every point through the oracle checker (check_solvability_oracle,
+// the single-scan reference expansion), the serial FrontierEngine checker,
+// and the chunk-sharded parallel checker at chunk sizes 1 and default --
+// then demands bit-identical verdicts, certified depths, and per-depth
+// statistics (including interned-view counts) from all of them. Any
+// divergence prints the seed, the point index, and its replayable spec
+// label to stderr and exits 1. The stdout table carries no timings, so a
+// fixed seed is byte-reproducible across runs and thread counts.
+//
 // `bench` wraps the google-benchmark binaries of the build tree so the
 // perf trajectory has one operator entry point: `--filter` and
 // `--repetitions` forward to the benchmark flags, `--json` captures the
@@ -52,11 +64,15 @@
 #include <string>
 #include <vector>
 
+#include "adversary/family.hpp"
 #include "analysis/report.hpp"
 #include "api/api.hpp"
+#include "core/solvability.hpp"
 #include "runtime/sweep/checkpoint.hpp"
 #include "runtime/sweep/cli.hpp"
 #include "runtime/sweep/parallel_solver.hpp"
+#include "runtime/sweep/thread_pool.hpp"
+#include "scenario/fuzz.hpp"
 #include "scenario/render.hpp"
 #include "scenario/scenario.hpp"
 
@@ -73,6 +89,8 @@ int usage(std::ostream& out, int code) {
          "  run SCENARIO [FLAGS]      expand the grid and run it\n"
          "  resume PATH [FLAGS]       finish an interrupted `run --json` "
          "sweep\n"
+         "  fuzz [FLAGS]              differential-test seeded composed "
+         "adversaries\n"
          "  bench [BINARY...] [FLAGS] run the google-benchmark binaries\n"
          "\n"
          "run/resume flags:\n"
@@ -98,6 +116,20 @@ int usage(std::ostream& out, int code) {
          "  --param-max=V             upper end of the parameter grid\n"
          "  --fail-after=K            (testing) crash-exit 3 after K "
          "checkpoint appends\n"
+         "\n"
+         "fuzz flags:\n"
+         "  --seed=N                  fuzzer seed (default 6); a fixed "
+         "seed is\n"
+         "                            byte-reproducible across runs and "
+         "thread counts\n"
+         "  --count=N                 composed points to draw and check "
+         "(default 8)\n"
+         "  --n=N                     process count of every point "
+         "(default 2)\n"
+         "  --depth=N                 max combinator nesting of a spec "
+         "(default 2)\n"
+         "  --threads=N               pool size for the parallel checker "
+         "legs\n"
          "\n"
          "bench flags:\n"
          "  --bench-dir=PATH          directory holding the bench_* "
@@ -671,6 +703,181 @@ int cmd_resume(const std::string& path, const RunFlags& flags) {
   return 0;
 }
 
+struct FuzzFlags {
+  scenario::FuzzSpec spec;
+  int threads = 0;
+};
+
+/// Parses `--seed=N` as the full uint64 range (parse_int_value would cap
+/// the replayable seed space at int).
+std::uint64_t parse_seed_value(std::string_view value) {
+  const std::string text(value);
+  std::size_t used = 0;
+  std::uint64_t seed = 0;
+  try {
+    seed = std::stoull(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (text.empty() || used != text.size() || text[0] == '-') {
+    throw std::invalid_argument("--seed expects an unsigned integer, got '" +
+                                text + "'");
+  }
+  return seed;
+}
+
+bool parse_fuzz_flags(int argc, char** argv, FuzzFlags* flags) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    try {
+      if (const auto v = sweep::flag_value(arg, "seed")) {
+        flags->spec.seed = parse_seed_value(*v);
+      } else if (const auto v = sweep::flag_value(arg, "count")) {
+        flags->spec.count = sweep::parse_int_value("count", *v);
+      } else if (const auto v = sweep::flag_value(arg, "n")) {
+        flags->spec.n = sweep::parse_int_value("n", *v);
+      } else if (const auto v = sweep::flag_value(arg, "depth")) {
+        flags->spec.depth = sweep::parse_int_value("depth", *v);
+      } else if (const auto v = sweep::flag_value(arg, "threads")) {
+        flags->threads = sweep::parse_int_value("threads", *v);
+      } else {
+        std::cerr << "topocon: unknown argument '" << arg << "'\n";
+        return false;
+      }
+    } catch (const std::invalid_argument& error) {
+      std::cerr << "topocon: " << error.what() << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// First observable difference between two checker results, or "" when
+/// they agree on every field the determinism contract covers.
+std::string describe_divergence(const SolvabilityResult& oracle,
+                                const SolvabilityResult& candidate) {
+  if (candidate.verdict != oracle.verdict) {
+    return std::string("verdict ") + to_string(candidate.verdict) +
+           " (oracle: " + to_string(oracle.verdict) + ")";
+  }
+  if (candidate.certified_depth != oracle.certified_depth) {
+    return "certified depth " + std::to_string(candidate.certified_depth) +
+           " (oracle: " + std::to_string(oracle.certified_depth) + ")";
+  }
+  if (candidate.closure_only != oracle.closure_only) {
+    return "closure_only " + std::to_string(candidate.closure_only) +
+           " (oracle: " + std::to_string(oracle.closure_only) + ")";
+  }
+  if (candidate.per_depth.size() != oracle.per_depth.size()) {
+    return "analyzed " + std::to_string(candidate.per_depth.size()) +
+           " depths (oracle: " + std::to_string(oracle.per_depth.size()) +
+           ")";
+  }
+  for (std::size_t d = 0; d < oracle.per_depth.size(); ++d) {
+    if (candidate.per_depth[d] == oracle.per_depth[d]) continue;
+    const DepthStats& c = candidate.per_depth[d];
+    const DepthStats& o = oracle.per_depth[d];
+    return "depth-" + std::to_string(o.depth) + " stats: " +
+           std::to_string(c.num_leaf_classes) + " classes/" +
+           std::to_string(c.num_components) + " components/" +
+           std::to_string(c.interner_views) + " views (oracle: " +
+           std::to_string(o.num_leaf_classes) + "/" +
+           std::to_string(o.num_components) + "/" +
+           std::to_string(o.interner_views) + ")";
+  }
+  return "";
+}
+
+/// `topocon fuzz`: the composed-adversary differential harness (see the
+/// file comment). Exit 0 = every point agrees, 1 = divergence or a point
+/// failed to build, 2 = usage error.
+int cmd_fuzz(const FuzzFlags& flags) {
+  std::vector<FamilyPoint> points;
+  try {
+    points = scenario::fuzz_points(flags.spec);
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "topocon: " << error.what() << "\n";
+    return 2;
+  }
+  const SolvabilityOptions options =
+      scenario::fuzz_solve_options(flags.spec.n);
+  sweep::ThreadPool pool(flags.threads);
+  const std::string replay =
+      "topocon fuzz --seed=" + std::to_string(flags.spec.seed) +
+      " --count=" + std::to_string(flags.spec.count) +
+      " --n=" + std::to_string(flags.spec.n) +
+      " --depth=" + std::to_string(flags.spec.depth);
+
+  Table table({"#", "label", "verdict", "cert depth", "depths", "views"});
+  table.align_right(0);
+  table.align_right(3);
+  table.align_right(4);
+  table.align_right(5);
+  int divergences = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const FamilyPoint& point = points[i];
+    const std::string label = family_point_label(point);
+    SolvabilityResult oracle;
+    try {
+      const auto adversary = make_family_adversary(point);
+      oracle = check_solvability_oracle(*adversary, options);
+      sweep::ShardingOptions finest;
+      finest.chunk_states = 1;
+      const struct {
+        const char* name;
+        SolvabilityResult result;
+      } candidates[] = {
+          {"serial FrontierEngine", check_solvability(*adversary, options)},
+          {"parallel (chunk=1)",
+           sweep::parallel_check_solvability(*adversary, options, pool, {},
+                                             finest)},
+          {"parallel (chunk=default)",
+           sweep::parallel_check_solvability(*adversary, options, pool, {},
+                                             sweep::ShardingOptions{})},
+      };
+      for (const auto& candidate : candidates) {
+        const std::string diff =
+            describe_divergence(oracle, candidate.result);
+        if (diff.empty()) continue;
+        ++divergences;
+        std::cerr << "topocon fuzz: DIVERGENCE at point " << i << ": "
+                  << candidate.name << " reports " << diff << "\n"
+                  << "  spec:   " << label << "\n"
+                  << "  replay: " << replay << "\n";
+      }
+    } catch (const std::exception& error) {
+      ++divergences;
+      std::cerr << "topocon fuzz: point " << i
+                << " failed to run: " << error.what() << "\n"
+                << "  spec:   " << label << "\n"
+                << "  replay: " << replay << "\n";
+      continue;
+    }
+    table.add_row({std::to_string(i), label, to_string(oracle.verdict),
+                   oracle.certified_depth >= 0
+                       ? std::to_string(oracle.certified_depth)
+                       : "-",
+                   std::to_string(oracle.per_depth.size()),
+                   oracle.per_depth.empty()
+                       ? "-"
+                       : std::to_string(
+                             oracle.per_depth.back().interner_views)});
+  }
+
+  std::cout << "Differential fuzz: seed " << flags.spec.seed << ", "
+            << points.size() << " composed points (n = " << flags.spec.n
+            << ", spec depth <= " << flags.spec.depth << ")\n";
+  table.print(std::cout);
+  if (divergences > 0) {
+    std::cout << "FAIL: " << divergences
+              << " divergence(s) between the oracle and the engines\n";
+    return 1;
+  }
+  std::cout << "OK: oracle, serial, and parallel checkers agree on every "
+               "point\n";
+  return 0;
+}
+
 /// POSIX-shell single quoting, safe for any byte except NUL.
 std::string shell_quote(const std::string& text) {
   std::string quoted = "'";
@@ -820,6 +1027,11 @@ int main(int argc, char** argv) {
   if (command == "describe") {
     if (argc != 3) return usage(std::cerr, 2);
     return cmd_describe(argv[2]);
+  }
+  if (command == "fuzz") {
+    FuzzFlags flags;
+    if (!parse_fuzz_flags(argc, argv, &flags)) return 2;
+    return cmd_fuzz(flags);
   }
   if (command == "bench") {
     return cmd_bench(argc, argv, argv[0]);
