@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 #include <cstring>
+#include <limits>
+#include <unordered_map>
 
 #include "ptg/reach.hpp"
 
@@ -21,10 +23,114 @@ std::size_t hash_words(const std::uint32_t* words, std::size_t count) {
   return h;
 }
 
+/// Hard cap on one direct-indexed table (entries, i.e. 4 bytes each):
+/// above it even a forced kDense chunk falls back to hashing. Bounds the
+/// per-chunk scratch at 8 MiB per table regardless of the key space.
+constexpr std::uint64_t kDenseSlotCap = std::uint64_t{1} << 21;
+
+/// GBBS-style density threshold for kAuto: a key space is "dense enough"
+/// when it is at most this many times the chunk's expected insertions --
+/// then the O(space) table initialization amortizes against the hashing
+/// it replaces.
+constexpr std::uint64_t kDenseHeadroom = 4;
+
+/// Bounds for the pending-state dense path's adversary-state prescan.
+constexpr std::size_t kDenseAdvCap = 1024;
+constexpr std::size_t kDenseAdvTableCap = std::size_t{1} << 16;
+
+constexpr std::uint64_t kSpaceOverflow =
+    std::numeric_limits<std::uint64_t>::max();
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kSpaceOverflow / b) return kSpaceOverflow;
+  return a * b;
+}
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  return a > kSpaceOverflow - b ? kSpaceOverflow : a + b;
+}
+
+/// Chunk-local open-addressed map from non-negative int32 keys to int32
+/// values, used by the dense expansion path to assign compact digits to
+/// parent view ids and adversary states. Sized once for a known entry
+/// cap; the caller never inserts more than `max_entries` distinct keys.
+class ScratchMap {
+ public:
+  void init(std::size_t max_entries) {
+    std::size_t slots = 16;
+    while (slots < max_entries * 2 + 2) slots <<= 1;
+    keys_.assign(slots, -1);
+    vals_.resize(slots);
+  }
+
+  /// Value of `key`, inserting `fresh` if absent; `*inserted` reports
+  /// which happened.
+  std::int32_t find_or_insert(std::int32_t key, std::int32_t fresh,
+                              bool* inserted) {
+    const std::size_t mask = keys_.size() - 1;
+    std::size_t pos =
+        (static_cast<std::uint32_t>(key) * 2654435761u) & mask;
+    while (true) {
+      if (keys_[pos] < 0) {
+        keys_[pos] = key;
+        vals_[pos] = fresh;
+        *inserted = true;
+        return fresh;
+      }
+      if (keys_[pos] == key) {
+        *inserted = false;
+        return vals_[pos];
+      }
+      pos = (pos + 1) & mask;
+    }
+  }
+
+ private:
+  std::vector<std::int32_t> keys_;
+  std::vector<std::int32_t> vals_;
+};
+
+std::atomic<int> g_default_frontier_mode{
+    static_cast<int>(FrontierMode::kAuto)};
+
 }  // namespace
+
+void set_default_frontier_mode(FrontierMode mode) {
+  if (mode == FrontierMode::kDefault) mode = FrontierMode::kAuto;
+  g_default_frontier_mode.store(static_cast<int>(mode),
+                                std::memory_order_relaxed);
+}
+
+FrontierMode default_frontier_mode() {
+  return static_cast<FrontierMode>(
+      g_default_frontier_mode.load(std::memory_order_relaxed));
+}
+
+std::optional<FrontierMode> frontier_mode_from_name(std::string_view name) {
+  if (name == "auto") return FrontierMode::kAuto;
+  if (name == "dense") return FrontierMode::kDense;
+  if (name == "sparse") return FrontierMode::kSparse;
+  return std::nullopt;
+}
+
+const char* to_string(FrontierMode mode) {
+  switch (mode) {
+    case FrontierMode::kDefault:
+      return "default";
+    case FrontierMode::kAuto:
+      return "auto";
+    case FrontierMode::kSparse:
+      return "sparse";
+    case FrontierMode::kDense:
+      return "dense";
+  }
+  return "?";
+}
 
 int WordSeqIndex::intern(const std::uint32_t* words, std::size_t count,
                          bool* inserted) {
+  assert(!appended_ && "intern() on a table frozen by append_new()");
   if (slots_.empty()) {
     slots_.assign(64, -1);
   } else if ((entries_.size() + 1) * 10 > slots_.size() * 7) {
@@ -58,6 +164,20 @@ int WordSeqIndex::intern(const std::uint32_t* words, std::size_t count,
   }
 }
 
+int WordSeqIndex::append_new(const std::uint32_t* words, std::size_t count) {
+  appended_ = true;
+  const auto id = static_cast<int>(entries_.size());
+  Entry entry;
+  entry.offset = pool_.size();
+  entry.count = static_cast<std::uint32_t>(count);
+  // The probe table is not maintained (see the header contract), so the
+  // hash is never needed; skipping it is the point of the dense path.
+  entry.hash = 0;
+  pool_.insert(pool_.end(), words, words + count);
+  entries_.push_back(entry);
+  return id;
+}
+
 void WordSeqIndex::grow() {
   std::vector<int> next(slots_.size() * 2, -1);
   const std::size_t mask = next.size() - 1;
@@ -74,8 +194,49 @@ FrontierEngine::FrontierEngine(const MessageAdversary& adversary,
                                ViewInterner& interner, int first_root,
                                int last_root)
     : adversary_(&adversary), options_(options), interner_(&interner) {
+  const int n = adversary.num_processes();
+  // The expansion shape: distinct (receiver, in-mask) pairs across the
+  // whole alphabet, plus the (letter, process) -> pair index table.
+  shape_.pair_of.assign(
+      static_cast<std::size_t>(adversary.alphabet_size()) *
+          static_cast<std::size_t>(n),
+      -1);
+  std::unordered_map<std::uint64_t, std::int32_t> pair_index;
+  for (int letter = 0; letter < adversary.alphabet_size(); ++letter) {
+    const Digraph& g = adversary.graph(letter);
+    for (int q = 0; q < n; ++q) {
+      const NodeMask mask = g.in_mask(static_cast<ProcessId>(q));
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(q) << 32) | mask;
+      auto [it, fresh] = pair_index.try_emplace(
+          key, static_cast<std::int32_t>(shape_.pairs.size()));
+      if (fresh) {
+        shape_.pairs.push_back(
+            {static_cast<std::uint32_t>(q), mask});
+      }
+      shape_.pair_of[static_cast<std::size_t>(letter) *
+                         static_cast<std::size_t>(n) +
+                     static_cast<std::size_t>(q)] = it->second;
+    }
+  }
+
   frontier_ =
       initial_frontier(adversary, options, interner, first_root, last_root);
+  // Distinct level-0 views per process (the roots are few: one class per
+  // input vector of this shard).
+  frontier_distinct_.assign(static_cast<std::size_t>(n), 0);
+  std::vector<ViewId> ids;
+  for (int p = 0; p < n; ++p) {
+    ids.clear();
+    for (const PrefixState& state : frontier_) {
+      ids.push_back(state.views[static_cast<std::size_t>(p)]);
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    frontier_distinct_[static_cast<std::size_t>(p)] =
+        static_cast<std::uint32_t>(ids.size());
+  }
+
   level_sizes_.push_back(frontier_.size());
   if (options_.keep_levels) {
     levels_.push_back(frontier_);
@@ -104,6 +265,7 @@ PendingFrontier FrontierEngine::expand(const FrontierChunk& chunk,
   assert(chunk.begin <= chunk.end && chunk.end <= frontier_.size());
   const MessageAdversary& adversary = *adversary_;
   const int n = adversary.num_processes();
+  const int alphabet = adversary.alphabet_size();
   PendingFrontier out;
   out.chunk = chunk;
   if (budget != nullptr && budget->exceeded()) {
@@ -113,6 +275,156 @@ PendingFrontier FrontierEngine::expand(const FrontierChunk& chunk,
     return out;
   }
   if (options_.keep_levels) out.children.resize(chunk.end - chunk.begin);
+
+  const std::size_t chunk_size = chunk.end - chunk.begin;
+  const std::size_t num_pairs = shape_.pairs.size();
+  FrontierMode mode = options_.frontier;
+  if (mode == FrontierMode::kDefault) mode = default_frontier_mode();
+
+  // ---- Dense planning, O(pairs) arithmetic before any expansion.
+  //
+  // A child-view key is [q, mask, senders...] where the senders are the
+  // PARENT level's interned view ids of the processes in mask. Within
+  // this chunk the sender in digit position p takes at most
+  // U_p = min(|chunk|, distinct views of p in the whole frontier)
+  // values, so the keys of pair (q, mask) enumerate a range of size
+  // prod_{p in mask} U_p once sender ids are remapped to compact
+  // per-process digits, and the whole chunk's key space has size
+  // S_v = sum over distinct pairs of that product -- computable up
+  // front. The chunk goes dense when S_v fits the slot cap and (under
+  // kAuto) is at most kDenseHeadroom times the expected insertions, the
+  // GBBS vertexSubset densification rule transplanted to dedup keys.
+  bool dense_views = false;
+  std::vector<std::uint32_t> radix;      // U_p per process
+  std::vector<std::uint64_t> pair_base;  // dense offset per pair
+  std::uint64_t view_space = 0;
+  if (mode != FrontierMode::kSparse && chunk_size > 0) {
+    radix.resize(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p) {
+      radix[static_cast<std::size_t>(p)] =
+          static_cast<std::uint32_t>(std::min<std::uint64_t>(
+              chunk_size, frontier_distinct_[static_cast<std::size_t>(p)]));
+    }
+    pair_base.resize(num_pairs);
+    for (std::size_t pr = 0; pr < num_pairs; ++pr) {
+      pair_base[pr] = view_space;
+      std::uint64_t pair_space = 1;
+      NodeMask rest = shape_.pairs[pr].mask;
+      while (rest != 0) {
+        const int p = std::countr_zero(rest);
+        rest &= rest - 1;
+        pair_space = sat_mul(pair_space, radix[static_cast<std::size_t>(p)]);
+      }
+      view_space = sat_add(view_space, pair_space);
+    }
+    // After the per-parent (q, mask) memo below, at most one view
+    // insertion happens per parent and pair.
+    const std::uint64_t expected_views = sat_mul(chunk_size, num_pairs);
+    dense_views = view_space <= kDenseSlotCap &&
+                  (mode == FrontierMode::kDense ||
+                   view_space <= sat_mul(kDenseHeadroom, expected_views));
+  }
+
+  // ---- Pending-state dense planning. State keys are [adversary state,
+  // view index per process]; the view indices are bounded by
+  // W = min(S_v, |chunk| * pairs) and the child adversary states are
+  // enumerated by a prescan of the chunk's distinct parent states, so
+  // the key space A_child * W^n is computable too. The prescan is only
+  // worth its O(|chunk|) when the views went dense (W is tiny exactly
+  // then); as a side effect it memoizes the safety-automaton transition,
+  // replacing the per-emission virtual call with a table load.
+  bool dense_states = false;
+  bool adv_cached = false;
+  std::uint64_t w_cap = 0;
+  std::vector<std::int32_t> dense_state_slot;
+  ScratchMap adv_remap;
+  std::vector<AdvState> adv_child_value;   // [adv index * alphabet + letter]
+  std::vector<std::int32_t> adv_child_digit;
+  if (dense_views) {
+    w_cap = std::min<std::uint64_t>(view_space,
+                                    sat_mul(chunk_size, num_pairs));
+    adv_remap.init(std::min(chunk_size, kDenseAdvCap + 1));
+    std::vector<AdvState> advs;
+    std::int32_t adv_count = 0;
+    bool bounded = true;
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+      bool fresh;
+      adv_remap.find_or_insert(frontier_[i].adv_state, adv_count, &fresh);
+      if (fresh) {
+        advs.push_back(frontier_[i].adv_state);
+        if (static_cast<std::size_t>(++adv_count) > kDenseAdvCap) {
+          bounded = false;
+          break;
+        }
+      }
+    }
+    if (bounded && static_cast<std::size_t>(adv_count) *
+                           static_cast<std::size_t>(alphabet) <=
+                       kDenseAdvTableCap) {
+      const std::size_t table =
+          static_cast<std::size_t>(adv_count) *
+          static_cast<std::size_t>(alphabet);
+      adv_child_value.resize(table);
+      adv_child_digit.assign(table, -1);
+      ScratchMap child_remap;
+      child_remap.init(table);
+      std::int32_t child_count = 0;
+      for (std::int32_t ai = 0; ai < adv_count; ++ai) {
+        for (int letter = 0; letter < alphabet; ++letter) {
+          const std::size_t slot =
+              static_cast<std::size_t>(ai) *
+                  static_cast<std::size_t>(alphabet) +
+              static_cast<std::size_t>(letter);
+          const AdvState next =
+              adversary.transition(advs[static_cast<std::size_t>(ai)], letter);
+          adv_child_value[slot] = next;
+          if (next == kRejectState) continue;
+          // Non-reject automaton states are non-negative (state 0 is
+          // initial), which ScratchMap relies on.
+          bool fresh;
+          adv_child_digit[slot] =
+              child_remap.find_or_insert(next, child_count, &fresh);
+          if (fresh) ++child_count;
+        }
+      }
+      adv_cached = true;
+      std::uint64_t state_space =
+          static_cast<std::uint64_t>(child_count);
+      for (int q = 0; q < n; ++q) state_space = sat_mul(state_space, w_cap);
+      const std::uint64_t expected_states = sat_mul(chunk_size, alphabet);
+      dense_states = state_space <= kDenseSlotCap &&
+                     (mode == FrontierMode::kDense ||
+                      state_space <= sat_mul(kDenseHeadroom, expected_states));
+      if (dense_states) {
+        dense_state_slot.assign(static_cast<std::size_t>(state_space), -1);
+      }
+    }
+  }
+
+  // ---- Per-chunk scratch.
+  std::vector<std::int32_t> dense_view_slot;
+  if (dense_views) {
+    dense_view_slot.assign(static_cast<std::size_t>(view_space), -1);
+  }
+  ScratchMap view_remap;  // parent view id -> compact per-process digit
+  std::vector<std::uint32_t> digits(static_cast<std::size_t>(n), 0);
+  std::vector<std::int32_t> next_digit(static_cast<std::size_t>(n), 0);
+  if (dense_views) {
+    std::size_t digit_cap = 0;
+    for (int p = 0; p < n; ++p) {
+      digit_cap += radix[static_cast<std::size_t>(p)];
+    }
+    view_remap.init(digit_cap);
+  }
+  // The per-parent (q, mask) memo: for a fixed parent, the child view of
+  // process q depends only on its expansion-shape pair, so each pair is
+  // resolved at most once per parent no matter how many letters share
+  // it (e.g. omission's alphabet collapses from |letters| * n view
+  // interns per parent to the distinct-pair count). Epoch-stamped, so
+  // there is nothing to clear between parents.
+  std::vector<std::int32_t> memo_val(num_pairs, -1);
+  std::vector<std::uint32_t> memo_epoch(num_pairs, 0);
+
   // Scratch keys, reused across emissions: no per-emission allocation.
   std::vector<std::uint32_t> view_key;
   view_key.reserve(static_cast<std::size_t>(n) + 2);
@@ -128,31 +440,114 @@ PendingFrontier FrontierEngine::expand(const FrontierChunk& chunk,
       reported = out.states.size();
     }
     const PrefixState& parent = frontier_[i];
-    for (int letter = 0; letter < adversary.alphabet_size(); ++letter) {
-      const AdvState adv_next = adversary.transition(parent.adv_state, letter);
+    const auto epoch = static_cast<std::uint32_t>(i - chunk.begin) + 1;
+    std::int32_t parent_adv = -1;
+    if (adv_cached) {
+      bool fresh;
+      parent_adv = adv_remap.find_or_insert(parent.adv_state, -1, &fresh);
+      assert(!fresh && "the prescan saw every parent state");
+    }
+    if (dense_views) {
+      for (int p = 0; p < n; ++p) {
+        bool fresh;
+        const std::int32_t d = view_remap.find_or_insert(
+            parent.views[static_cast<std::size_t>(p)],
+            next_digit[static_cast<std::size_t>(p)], &fresh);
+        if (fresh) ++next_digit[static_cast<std::size_t>(p)];
+        digits[static_cast<std::size_t>(p)] =
+            static_cast<std::uint32_t>(d);
+      }
+    }
+    for (int letter = 0; letter < alphabet; ++letter) {
+      const AdvState adv_next =
+          adv_cached
+              ? adv_child_value[static_cast<std::size_t>(parent_adv) *
+                                    static_cast<std::size_t>(alphabet) +
+                                static_cast<std::size_t>(letter)]
+              : adversary.transition(parent.adv_state, letter);
       if (adv_next == kRejectState) continue;
       const Digraph& g = adversary.graph(letter);
       for (int q = 0; q < n; ++q) {
-        const NodeMask mask = g.in_mask(static_cast<ProcessId>(q));
-        view_key.clear();
-        view_key.push_back(static_cast<std::uint32_t>(q));
-        view_key.push_back(mask);
-        NodeMask rest = mask;
-        while (rest != 0) {
-          const int p = std::countr_zero(rest);
-          rest &= rest - 1;
-          view_key.push_back(static_cast<std::uint32_t>(
-              parent.views[static_cast<std::size_t>(p)]));
+        const auto pair = static_cast<std::size_t>(
+            shape_.pair_of[static_cast<std::size_t>(letter) *
+                               static_cast<std::size_t>(n) +
+                           static_cast<std::size_t>(q)]);
+        std::int32_t view_index;
+        if (memo_epoch[pair] == epoch) {
+          view_index = memo_val[pair];
+        } else {
+          const NodeMask mask = g.in_mask(static_cast<ProcessId>(q));
+          if (dense_views) {
+            std::uint64_t local = 0;
+            NodeMask rest = mask;
+            while (rest != 0) {
+              const int p = std::countr_zero(rest);
+              rest &= rest - 1;
+              local = local * radix[static_cast<std::size_t>(p)] +
+                      digits[static_cast<std::size_t>(p)];
+            }
+            const std::size_t addr =
+                static_cast<std::size_t>(pair_base[pair] + local);
+            view_index = dense_view_slot[addr];
+            if (view_index < 0) {
+              view_key.clear();
+              view_key.push_back(static_cast<std::uint32_t>(q));
+              view_key.push_back(mask);
+              rest = mask;
+              while (rest != 0) {
+                const int p = std::countr_zero(rest);
+                rest &= rest - 1;
+                view_key.push_back(static_cast<std::uint32_t>(
+                    parent.views[static_cast<std::size_t>(p)]));
+              }
+              view_index =
+                  out.views.append_new(view_key.data(), view_key.size());
+              dense_view_slot[addr] = view_index;
+            }
+          } else {
+            view_key.clear();
+            view_key.push_back(static_cast<std::uint32_t>(q));
+            view_key.push_back(mask);
+            NodeMask rest = mask;
+            while (rest != 0) {
+              const int p = std::countr_zero(rest);
+              rest &= rest - 1;
+              view_key.push_back(static_cast<std::uint32_t>(
+                  parent.views[static_cast<std::size_t>(p)]));
+            }
+            bool view_inserted;
+            view_index = out.views.intern(view_key.data(), view_key.size(),
+                                          &view_inserted);
+          }
+          memo_val[pair] = view_index;
+          memo_epoch[pair] = epoch;
         }
-        bool view_inserted;
         state_key[static_cast<std::size_t>(q) + 1] =
-            static_cast<std::uint32_t>(out.views.intern(
-                view_key.data(), view_key.size(), &view_inserted));
+            static_cast<std::uint32_t>(view_index);
       }
       state_key[0] = static_cast<std::uint32_t>(adv_next);
       bool inserted;
-      const int index = out.state_index.intern(state_key.data(),
-                                               state_key.size(), &inserted);
+      int index;
+      if (dense_states) {
+        std::uint64_t addr = static_cast<std::uint64_t>(
+            adv_child_digit[static_cast<std::size_t>(parent_adv) *
+                                static_cast<std::size_t>(alphabet) +
+                            static_cast<std::size_t>(letter)]);
+        for (int q = 0; q < n; ++q) {
+          addr = addr * w_cap + state_key[static_cast<std::size_t>(q) + 1];
+        }
+        std::int32_t slot = dense_state_slot[static_cast<std::size_t>(addr)];
+        inserted = slot < 0;
+        if (inserted) {
+          slot = out.state_index.append_new(state_key.data(),
+                                            state_key.size());
+          dense_state_slot[static_cast<std::size_t>(addr)] = slot;
+        }
+        index = slot;
+      } else {
+        index = out.state_index.intern(state_key.data(), state_key.size(),
+                                       &inserted);
+      }
       if (inserted) {
         PendingState state;
         state.inputs = parent.inputs;
@@ -301,6 +696,13 @@ void FrontierEngine::commit(PendingFrontier level) {
     parents.emplace_back(state.parent, state.letter);
   }
   frontier_ = std::move(next);
+  // level.views holds exactly the distinct views of the new frontier
+  // (every entry was part of some committed state's key), so the
+  // per-process tally feeding the dense heuristic is one scan of it.
+  frontier_distinct_.assign(static_cast<std::size_t>(n), 0);
+  for (std::size_t v = 0; v < level.views.size(); ++v) {
+    ++frontier_distinct_[level.views.words_of(static_cast<int>(v))[0]];
+  }
   ++level_;
   level_sizes_.push_back(frontier_.size());
   if (options_.keep_levels) {

@@ -41,6 +41,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -56,6 +58,18 @@ struct FrontierChunk {
   std::size_t end = 0;
 };
 
+/// Process-wide default for AnalysisOptions::frontier == kDefault: set
+/// from the CLI (`topocon --frontier=MODE`, `--sweep-frontier=MODE`).
+/// The initial value resolves to kAuto. Like set_default_chunk_states an
+/// execution knob only -- results are identical for every mode.
+void set_default_frontier_mode(FrontierMode mode);
+FrontierMode default_frontier_mode();
+
+/// Parses "auto" / "dense" / "sparse" (the `--frontier=` spellings);
+/// nullopt for anything else.
+std::optional<FrontierMode> frontier_mode_from_name(std::string_view name);
+const char* to_string(FrontierMode mode);
+
 /// Append-only open-addressed map from word sequences (dedup keys) to
 /// dense indices, with the key material owned by the table -- the
 /// allocation-free workhorse behind pending-view and pending-state
@@ -65,6 +79,14 @@ class WordSeqIndex {
   /// Index of the key `words[0..count)`, inserting it if absent;
   /// `*inserted` reports which happened.
   int intern(const std::uint32_t* words, std::size_t count, bool* inserted);
+
+  /// Appends the key as a NEW entry without consulting or maintaining
+  /// the probe table: the dense expansion path has already proved
+  /// uniqueness through its direct-indexed table. A table touched by
+  /// append_new becomes read-only for dedup -- intern() must not be
+  /// called on it afterwards (merge() and commit() only read entries,
+  /// which is all the engine ever does with an expanded chunk).
+  int append_new(const std::uint32_t* words, std::size_t count);
 
   std::size_t size() const { return entries_.size(); }
   const std::uint32_t* words_of(int index) const {
@@ -86,6 +108,8 @@ class WordSeqIndex {
   std::vector<Entry> entries_;
   /// Power-of-two probe table of entry indices; -1 = empty.
   std::vector<int> slots_;
+  /// True once append_new bypassed the probe table (see its contract).
+  bool appended_ = false;
 };
 
 /// Per-state metadata of a pending (not yet interned) level; the view
@@ -194,6 +218,14 @@ class FrontierEngine {
   /// given the chunk reports its growth there and aborts (overflow set)
   /// once the shared total trips -- see FrontierBudget for the exactness
   /// caveat.
+  ///
+  /// The dedup representation is chosen per chunk by
+  /// options.frontier (kAuto by default): when the enumerable child-view
+  /// key space -- at most sum over the distinct (process, in-mask) pairs
+  /// of the product of the per-process sender-id bounds -- is small, the
+  /// chunk dedups through direct-indexed tables instead of hashing.
+  /// Keys, indices, and entry order are identical either way, so the
+  /// choice (like the chunk size) can never change a result byte.
   PendingFrontier expand(const FrontierChunk& chunk,
                          FrontierBudget* budget = nullptr) const;
 
@@ -247,9 +279,29 @@ class FrontierEngine {
   std::vector<PrefixState> take_frontier() { return std::move(frontier_); }
 
  private:
+  /// The adversary's per-round expansion shape, fixed at construction:
+  /// the distinct (receiver, in-mask) pairs over all (letter, process)
+  /// combinations. A parent's child view for process q depends only on
+  /// its pair, so `pairs` bounds both the per-parent view-intern work
+  /// (the expand memo) and the dense key-space enumeration.
+  struct ExpansionShape {
+    struct Pair {
+      std::uint32_t q = 0;
+      NodeMask mask = 0;
+    };
+    std::vector<Pair> pairs;
+    /// [letter * n + q] -> index into pairs.
+    std::vector<std::int32_t> pair_of;
+  };
+
   const MessageAdversary* adversary_;
   AnalysisOptions options_;
   ViewInterner* interner_;
+  ExpansionShape shape_;
+  /// Distinct interned views per process in the current frontier,
+  /// maintained by the constructor and commit(); the per-chunk dense
+  /// heuristic bounds sender-id digits with min(chunk size, this).
+  std::vector<std::uint32_t> frontier_distinct_;
   std::vector<PrefixState> frontier_;
   int level_ = 0;
   bool truncated_ = false;

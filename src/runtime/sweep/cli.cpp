@@ -6,6 +6,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "core/frontier.hpp"
 #include "runtime/sweep/engine.hpp"
 
 namespace topocon::sweep {
@@ -32,6 +33,19 @@ int parse_int_value(std::string_view flag, std::string_view value) {
   return parsed;
 }
 
+std::uint64_t parse_uint64_value(std::string_view flag,
+                                 std::string_view value) {
+  std::uint64_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+  if (ec != std::errc() || ptr != value.data() + value.size()) {
+    throw std::invalid_argument("--" + std::string(flag) +
+                                " expects an unsigned integer, got '" +
+                                std::string(value) + "'");
+  }
+  return parsed;
+}
+
 SweepCliOptions consume_sweep_args(int* argc, char** argv) {
   SweepCliOptions options;
   int kept = 1;
@@ -47,6 +61,18 @@ SweepCliOptions consume_sweep_args(int* argc, char** argv) {
         std::fprintf(stderr, "sweep: %s\n", error.what());
         std::exit(2);
       }
+      continue;
+    }
+    if (const auto mode = flag_value(arg, "sweep-frontier")) {
+      const auto parsed = frontier_mode_from_name(*mode);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr,
+                     "sweep: --sweep-frontier expects 'auto', 'dense', or "
+                     "'sparse', got '%s'\n",
+                     std::string(*mode).c_str());
+        std::exit(2);
+      }
+      set_default_frontier_mode(*parsed);
       continue;
     }
     if (const auto path = flag_value(arg, "sweep-json")) {

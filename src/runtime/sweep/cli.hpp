@@ -4,6 +4,7 @@
 // around consume_sweep_args call sites.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -20,15 +21,21 @@ std::optional<std::string_view> flag_value(std::string_view arg,
 /// naming the flag on malformed or out-of-int-range input.
 int parse_int_value(std::string_view flag, std::string_view value);
 
+/// Parses a mandatory unsigned 64-bit flag value (the full seed space;
+/// parse_int_value would cap it at int). Throws std::invalid_argument
+/// naming the flag on malformed, negative, or out-of-range input.
+std::uint64_t parse_uint64_value(std::string_view flag,
+                                 std::string_view value);
+
 /// Options consumed by consume_sweep_args.
 struct SweepCliOptions {
   /// Destination of the registry dump; empty = no dump.
   std::string json_path;
 };
 
-/// Strips --sweep-threads=N and --sweep-json=PATH from argv (so they can
-/// precede google-benchmark's own argument parsing) and applies the
-/// thread default immediately.
+/// Strips --sweep-threads=N, --sweep-frontier=MODE, and --sweep-json=PATH
+/// from argv (so they can precede google-benchmark's own argument parsing)
+/// and applies the thread/frontier defaults immediately.
 SweepCliOptions consume_sweep_args(int* argc, char** argv);
 
 /// Writes the registry to options.json_path if set. Returns false (after

@@ -159,37 +159,65 @@ std::vector<Query> build_decision_tables(const GridOverrides& overrides) {
 std::vector<Query> build_fuzz_composed(const GridOverrides& overrides) {
   FuzzSpec spec;
   spec.n = overrides.n.value_or(2);
-  // The generic grid knobs are repurposed (documented in the scenario
-  // description): --param-min is the seed, --param-max the point count.
-  if (overrides.param_min.has_value()) {
+  // --seed/--count are the first-class knobs (--seed carries the full
+  // uint64 seed space); --param-min/--param-max remain as legacy aliases
+  // from when the generic grid knobs were repurposed, but mixing an
+  // override with its own alias is ambiguous and rejected.
+  if (overrides.seed.has_value() && overrides.param_min.has_value()) {
+    throw std::invalid_argument(
+        "fuzz-composed: --seed conflicts with --param-min (the seed "
+        "alias); pass one of them");
+  }
+  if (overrides.count.has_value() && overrides.param_max.has_value()) {
+    throw std::invalid_argument(
+        "fuzz-composed: --count conflicts with --param-max (the count "
+        "alias); pass one of them");
+  }
+  if (overrides.seed.has_value()) {
+    spec.seed = *overrides.seed;
+  } else if (overrides.param_min.has_value()) {
     if (*overrides.param_min < 0) {
       throw std::invalid_argument(
           "fuzz-composed: the seed (--param-min) must be >= 0");
     }
     spec.seed = static_cast<std::uint64_t>(*overrides.param_min);
   }
-  if (overrides.param_max.has_value()) {
+  if (overrides.count.has_value()) {
+    spec.count = *overrides.count;
+  } else if (overrides.param_max.has_value()) {
     spec.count = *overrides.param_max;
   }
   return fuzz_queries(spec);
 }
 
-std::vector<Query> build_atlas(const GridOverrides&) {
-  // One fixed family x n x param grid into a single solvability map; the
+std::vector<Query> build_atlas(const GridOverrides& overrides) {
+  // One family x n x param grid into a single solvability map; the
   // per-leg depth bounds are the smallest that still certify each leg's
   // whole solvable frontier (e.g. omission n=3 certifies f <= 1 by
   // depth 2, see tests/golden/omission-n3.json), so the map is exact yet
   // cheap enough to diff byte-for-byte in every CI configuration.
+  // Overrides restrict the grid: --n keeps only that process count's
+  // legs, --param-min/--param-max intersect each leg's parameter
+  // interval (a leg whose interval empties out is skipped, like
+  // heard-of-grid's per-leg intersection).
+  if (overrides.n.has_value() && *overrides.n != 2 && *overrides.n != 3) {
+    throw std::invalid_argument("atlas: --n must be 2 or 3, got " +
+                                std::to_string(*overrides.n));
+  }
   std::vector<Query> queries;
-  const auto add = [&queries](const char* family, int n, int param_min,
-                              int param_max, int max_depth,
-                              std::size_t max_states) {
+  const auto add = [&queries, &overrides](const char* family, int n,
+                                          int param_min, int param_max,
+                                          int max_depth,
+                                          std::size_t max_states) {
+    if (overrides.n.has_value() && n != *overrides.n) return;
+    const int lo = std::max(param_min, overrides.param_min.value_or(param_min));
+    const int hi = std::min(param_max, overrides.param_max.value_or(param_max));
+    if (lo > hi) return;
     SolvabilityOptions options;
     options.max_depth = max_depth;
     options.max_states = max_states;
     options.build_table = false;
-    for (const FamilyPoint& point :
-         family_grid(family, n, param_min, param_max)) {
+    for (const FamilyPoint& point : family_grid(family, n, lo, hi)) {
       queries.push_back(api::solvability(point, options));
     }
   };
@@ -201,6 +229,10 @@ std::vector<Query> build_atlas(const GridOverrides&) {
   add("heard_of", 3, 1, 3, 2, 1'000'000);
   add("vssc", 2, 1, 2, 2, 2'000'000);
   add("finite_loss", 2, 0, 0, 3, 2'000'000);
+  if (queries.empty()) {
+    throw std::invalid_argument(
+        "atlas: no grid leg intersects --param-min/--param-max");
+  }
   return queries;
 }
 
@@ -213,7 +245,8 @@ std::vector<Scenario> make_catalog() {
       "(default 3), reproducing the E5 frontier: consensus is solvable\n"
       "iff f <= n-2 [Santoro-Widmayer]. --n picks the process count,\n"
       "--param-min/--param-max restrict the f interval (valid: 0..n(n-1)).",
-      /*supports_n=*/true, /*supports_param_range=*/true, build_omission});
+      /*supports_n=*/true, /*supports_param_range=*/true,
+      /*supports_seed=*/false, build_omission});
   scenarios.push_back(Scenario{
       "omission-n4",
       "Omission frontier at n=4: the chunk-sharded large-n grid "
@@ -229,7 +262,8 @@ std::vector<Scenario> make_catalog() {
       "documents the honest RESOURCE-LIMIT verdict at the state budget.\n"
       "--n picks the process count, --param-min/--param-max restrict the\n"
       "f interval (valid: 0..n(n-1)).",
-      /*supports_n=*/true, /*supports_param_range=*/true, build_omission_n4});
+      /*supports_n=*/true, /*supports_param_range=*/true,
+      /*supports_seed=*/false, build_omission_n4});
   scenarios.push_back(Scenario{
       "lossy-link-atlas",
       "All 7 lossy-link subsets at n=2: the solvability atlas",
@@ -238,7 +272,7 @@ std::vector<Scenario> make_catalog() {
       "direction. --param-min/--param-max restrict the subset-mask\n"
       "interval (valid: 1..7).",
       /*supports_n=*/false, /*supports_param_range=*/true,
-      build_lossy_link_atlas});
+      /*supports_seed=*/false, build_lossy_link_atlas});
   scenarios.push_back(Scenario{
       "heard-of-grid",
       "Heard-Of minimal in-degree grid: k = 1..n for n in {2, 3}",
@@ -247,7 +281,7 @@ std::vector<Scenario> make_catalog() {
       "count, --param-min/--param-max restrict the k interval (valid:\n"
       "1..n).",
       /*supports_n=*/true, /*supports_param_range=*/true,
-      build_heard_of_grid});
+      /*supports_seed=*/false, build_heard_of_grid});
   scenarios.push_back(Scenario{
       "vssc-windows",
       "VSSC stability windows: non-compact closure stays merged",
@@ -258,7 +292,7 @@ std::vector<Scenario> make_catalog() {
       "adversary is solvable (Section 6.3, bench E8). --n picks the\n"
       "process count, --param-min/--param-max the window interval.",
       /*supports_n=*/true, /*supports_param_range=*/true,
-      build_vssc_windows});
+      /*supports_seed=*/false, build_vssc_windows});
   scenarios.push_back(Scenario{
       "convergence-curves",
       "E4/E6/E7 depth-series curves across three families",
@@ -267,7 +301,7 @@ std::vector<Scenario> make_catalog() {
       "(depth 3), and the non-compact finite-loss closure (depth 4,\n"
       "permanently merged). Fixed grid; no overrides.",
       /*supports_n=*/false, /*supports_param_range=*/false,
-      build_convergence_curves});
+      /*supports_seed=*/false, build_convergence_curves});
   scenarios.push_back(Scenario{
       "fuzz-composed",
       "Seeded random composed adversaries (product/union/window) "
@@ -278,13 +312,15 @@ std::vector<Scenario> make_catalog() {
       "windows over the compact grid families (adversary/compose.hpp) --\n"
       "whose label is its canonical spec JSON, replayable on its own.\n"
       "The expansion is a pure function of (seed, n, count), so runs and\n"
-      "resumes are byte-identical at every thread count. The overrides\n"
-      "are repurposed: --n is the process count, --param-min the seed,\n"
-      "--param-max the point count. The differential twin of this\n"
-      "scenario is `topocon fuzz`, which re-checks every point against\n"
-      "the single-scan reference oracle.",
+      "resumes are byte-identical at every thread count. --n is the\n"
+      "process count, --seed the fuzzer seed (full uint64 range), and\n"
+      "--count the point count; --param-min/--param-max survive as legacy\n"
+      "aliases of --seed/--count (mixing a flag with its own alias is\n"
+      "rejected). The differential twin of this scenario is `topocon\n"
+      "fuzz`, which re-checks every point against the single-scan\n"
+      "reference oracle.",
       /*supports_n=*/true, /*supports_param_range=*/true,
-      build_fuzz_composed});
+      /*supports_seed=*/true, build_fuzz_composed});
   scenarios.push_back(Scenario{
       "atlas",
       "The cross-family solvability atlas: every family, one CSV map",
@@ -296,10 +332,13 @@ std::vector<Scenario> make_catalog() {
       "depth 6), windowed_lossy_link (w=1..3, depth 4), omission (n=2\n"
       "depth 6; n=3 depth 2), heard_of (n=2 depth 5; n=3 depth 2), plus\n"
       "the non-compact vssc and finite_loss closures, which stay merged\n"
-      "at every depth (Section 6.3). Fixed grid; no overrides. The CSV\n"
-      "is committed as tests/golden/atlas.csv and diffed byte-for-byte\n"
-      "at several thread counts and chunk sizes by ctest.",
-      /*supports_n=*/false, /*supports_param_range=*/false, build_atlas});
+      "at every depth (Section 6.3). --n keeps only one process count's\n"
+      "legs (valid: 2 or 3); --param-min/--param-max intersect every\n"
+      "leg's parameter interval, skipping legs that empty out. The\n"
+      "default CSV is committed as tests/golden/atlas.csv and diffed\n"
+      "byte-for-byte at several thread counts and chunk sizes by ctest.",
+      /*supports_n=*/true, /*supports_param_range=*/true,
+      /*supports_seed=*/false, build_atlas});
   scenarios.push_back(Scenario{
       "decision-tables",
       "Universal-algorithm extraction (Theorem 5.5) for the n=2 atlas",
@@ -311,7 +350,7 @@ std::vector<Scenario> make_catalog() {
       "no-certificate case. --param-min/--param-max restrict the\n"
       "lossy-link mask interval (valid: 1..7).",
       /*supports_n=*/false, /*supports_param_range=*/true,
-      build_decision_tables});
+      /*supports_seed=*/false, build_decision_tables});
   return scenarios;
 }
 
@@ -339,6 +378,11 @@ api::Plan expand_scenario(const Scenario& scenario,
       !scenario.supports_param_range) {
     throw std::invalid_argument(
         scenario.name + " does not support --param-min/--param-max");
+  }
+  if ((overrides.seed.has_value() || overrides.count.has_value()) &&
+      !scenario.supports_seed) {
+    throw std::invalid_argument(scenario.name +
+                                " does not support --seed/--count");
   }
   api::Plan plan;
   plan.name = scenario.name;

@@ -10,6 +10,7 @@
 // "scenarios as query plans").
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -21,13 +22,19 @@
 namespace topocon::scenario {
 
 /// Operator overrides of a scenario's default grid (`--n`,
-/// `--param-min`, `--param-max`). Semantics are scenario-specific and
-/// documented per scenario; scenarios reject overrides they do not
-/// support with std::invalid_argument.
+/// `--param-min`, `--param-max`, and -- for seeded scenarios --
+/// `--seed`/`--count`). Semantics are scenario-specific and documented
+/// per scenario; scenarios reject overrides they do not support with
+/// std::invalid_argument.
 struct GridOverrides {
   std::optional<int> n;
   std::optional<int> param_min;
   std::optional<int> param_max;
+  /// Seed of a seeded scenario, with the full uint64 range (the
+  /// --param-min alias squeezes it through int and cannot express it).
+  std::optional<std::uint64_t> seed;
+  /// Point count of a seeded scenario.
+  std::optional<int> count;
 };
 
 struct Scenario {
@@ -41,6 +48,7 @@ struct Scenario {
   /// Which overrides expand_scenario accepts for this scenario.
   bool supports_n = false;
   bool supports_param_range = false;
+  bool supports_seed = false;
   /// Expands the (possibly overridden) grid into the query list; the
   /// plan name is filled in by expand_scenario.
   std::function<std::vector<api::Query>(const GridOverrides&)> build;

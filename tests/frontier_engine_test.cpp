@@ -84,6 +84,91 @@ TEST(WordSeqIndex, SurvivesGrowth) {
   }
 }
 
+/// The table's FNV-1a over key words, replicated so tests can construct
+/// probe collisions deliberately.
+std::size_t fnv1a(const std::uint32_t* words, std::size_t count) {
+  std::size_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < count; ++i) {
+    h ^= words[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+TEST(WordSeqIndex, ProbeCollisionsResolveByFullKeyComparison) {
+  // Single-word keys that land in the same slot of the initial 64-slot
+  // table must linear-probe to distinct entries, and each must still be
+  // found afterwards (the probe walks past foreign entries).
+  std::vector<std::uint32_t> colliding;
+  const std::size_t target = fnv1a(&colliding.emplace_back(0), 1) & 63;
+  for (std::uint32_t w = 1; colliding.size() < 5; ++w) {
+    if ((fnv1a(&w, 1) & 63) == target) colliding.push_back(w);
+  }
+  WordSeqIndex index;
+  bool inserted = false;
+  for (std::size_t i = 0; i < colliding.size(); ++i) {
+    EXPECT_EQ(index.intern(&colliding[i], 1, &inserted),
+              static_cast<int>(i));
+    EXPECT_TRUE(inserted);
+  }
+  for (std::size_t i = 0; i < colliding.size(); ++i) {
+    EXPECT_EQ(index.intern(&colliding[i], 1, &inserted),
+              static_cast<int>(i));
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(index.words_of(static_cast<int>(i))[0], colliding[i]);
+  }
+}
+
+TEST(WordSeqIndex, GrowthBoundaryKeepsIdsStable) {
+  // The 64-slot table rehashes on the insert that would push the load
+  // past 7/10 (the 45th entry). Ids and lookups must be unaffected on
+  // both sides of the boundary.
+  WordSeqIndex index;
+  bool inserted = false;
+  for (std::uint32_t i = 0; i < 44; ++i) {
+    ASSERT_EQ(index.intern(&i, 1, &inserted), static_cast<int>(i));
+  }
+  for (std::uint32_t i = 44; i < 50; ++i) {  // crosses the rehash
+    ASSERT_EQ(index.intern(&i, 1, &inserted), static_cast<int>(i));
+    ASSERT_TRUE(inserted);
+  }
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(index.intern(&i, 1, &inserted), static_cast<int>(i));
+    EXPECT_FALSE(inserted);
+  }
+}
+
+TEST(WordSeqIndex, DuplicateInsertsKeepOneEntry) {
+  WordSeqIndex index;
+  const std::uint32_t key[] = {7, 8, 9};
+  bool inserted = false;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(index.intern(key, 3, &inserted), 0);
+    EXPECT_EQ(inserted, i == 0);
+  }
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(WordSeqIndex, AppendNewExtendsTheEntryListInOrder) {
+  // append_new is the dense expansion path's bulk append: the caller
+  // already proved the key fresh, so the entry bypasses the probe table
+  // but must round-trip through words_of/count_of like any other.
+  WordSeqIndex index;
+  bool inserted = false;
+  const std::uint32_t first[] = {1, 2};
+  ASSERT_EQ(index.intern(first, 2, &inserted), 0);
+  const std::uint32_t second[] = {3, 4, 5};
+  EXPECT_EQ(index.append_new(second, 3), 1);
+  const std::uint32_t third[] = {6};
+  EXPECT_EQ(index.append_new(third, 1), 2);
+  EXPECT_EQ(index.size(), 3u);
+  EXPECT_EQ(index.count_of(1), 3u);
+  EXPECT_EQ(index.words_of(1)[2], 5u);
+  EXPECT_EQ(index.count_of(2), 1u);
+  EXPECT_EQ(index.words_of(2)[0], 6u);
+  EXPECT_EQ(index.words_of(0)[0], 1u);  // pre-append entries untouched
+}
+
 TEST(FrontierEngine, MatchesReferenceExpansionLevelByLevel) {
   for (const unsigned mask : {0b011u, 0b111u}) {
     const auto ma = make_lossy_link(mask);

@@ -2,6 +2,8 @@
 // the record-merge semantics resume is built on (completed records from a
 // checkpoint + freshly-run pending jobs == an uninterrupted run).
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -110,6 +112,127 @@ TEST(ScenarioOverrides, UnsupportedAndOutOfRangeOverridesThrow) {
   empty_range.param_max = 2;
   EXPECT_THROW(scenario::expand_scenario(*atlas, empty_range),
                std::invalid_argument);
+}
+
+TEST(ScenarioOverrides, AtlasRestrictsByNAndParamInterval) {
+  const Scenario* atlas = scenario::find_scenario("atlas");
+  ASSERT_NE(atlas, nullptr);
+  EXPECT_TRUE(atlas->supports_n);
+  EXPECT_TRUE(atlas->supports_param_range);
+  const std::size_t full = scenario::expand_scenario(*atlas, {}).queries.size();
+
+  // --n keeps only that process count's legs; n=2 + n=3 = the full grid.
+  GridOverrides n2;
+  n2.n = 2;
+  GridOverrides n3;
+  n3.n = 3;
+  const Plan plan2 = scenario::expand_scenario(*atlas, n2);
+  const Plan plan3 = scenario::expand_scenario(*atlas, n3);
+  EXPECT_EQ(plan2.queries.size() + plan3.queries.size(), full);
+  for (const api::Query& query : plan2.queries) {
+    EXPECT_EQ(api::point_of(query).n, 2);
+  }
+  for (const api::Query& query : plan3.queries) {
+    EXPECT_EQ(api::point_of(query).n, 3);
+  }
+
+  // The param interval intersects every leg; legs that empty out are
+  // skipped (param >= 5: lossy_link keeps masks 5..7, omission n=3
+  // keeps f=5..6, every other leg empties).
+  GridOverrides high;
+  high.param_min = 5;
+  const Plan plan_high = scenario::expand_scenario(*atlas, high);
+  ASSERT_EQ(plan_high.queries.size(), 5u);
+  for (const api::Query& query : plan_high.queries) {
+    EXPECT_GE(api::point_of(query).param, 5);
+  }
+
+  // Out-of-range n and an interval missing every leg carry exact
+  // messages (they surface verbatim on the CLI).
+  GridOverrides n4;
+  n4.n = 4;
+  try {
+    scenario::expand_scenario(*atlas, n4);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_STREQ(error.what(), "atlas: --n must be 2 or 3, got 4");
+  }
+  GridOverrides beyond;
+  beyond.param_min = 8;
+  try {
+    scenario::expand_scenario(*atlas, beyond);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_STREQ(error.what(),
+                 "atlas: no grid leg intersects --param-min/--param-max");
+  }
+}
+
+TEST(ScenarioOverrides, FuzzComposedSeedAndCountAreFirstClass) {
+  const Scenario* fuzz = scenario::find_scenario("fuzz-composed");
+  ASSERT_NE(fuzz, nullptr);
+  EXPECT_TRUE(fuzz->supports_seed);
+
+  // --seed carries the full uint64 range the --param-min alias cannot.
+  GridOverrides max_seed;
+  max_seed.seed = std::numeric_limits<std::uint64_t>::max();
+  max_seed.count = 2;
+  const Plan plan = scenario::expand_scenario(*fuzz, max_seed);
+  EXPECT_EQ(plan.queries.size(), 2u);
+
+  // The legacy aliases still expand, and agree with the first-class
+  // flags where the ranges overlap.
+  GridOverrides via_alias;
+  via_alias.param_min = 6;
+  via_alias.param_max = 2;
+  GridOverrides via_flags;
+  via_flags.seed = 6;
+  via_flags.count = 2;
+  const Plan alias_plan = scenario::expand_scenario(*fuzz, via_alias);
+  const Plan flags_plan = scenario::expand_scenario(*fuzz, via_flags);
+  ASSERT_EQ(alias_plan.queries.size(), flags_plan.queries.size());
+  for (std::size_t j = 0; j < alias_plan.queries.size(); ++j) {
+    EXPECT_EQ(api::query_to_string(alias_plan.queries[j]),
+              api::query_to_string(flags_plan.queries[j]));
+  }
+
+  // Mixing a flag with its own alias is ambiguous and rejected with an
+  // exact message.
+  GridOverrides seed_conflict;
+  seed_conflict.seed = 6;
+  seed_conflict.param_min = 6;
+  try {
+    scenario::expand_scenario(*fuzz, seed_conflict);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_STREQ(error.what(),
+                 "fuzz-composed: --seed conflicts with --param-min (the "
+                 "seed alias); pass one of them");
+  }
+  GridOverrides count_conflict;
+  count_conflict.count = 2;
+  count_conflict.param_max = 2;
+  try {
+    scenario::expand_scenario(*fuzz, count_conflict);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_STREQ(error.what(),
+                 "fuzz-composed: --count conflicts with --param-max (the "
+                 "count alias); pass one of them");
+  }
+
+  // Scenarios without a seed reject the override by name.
+  const Scenario* omission = scenario::find_scenario("omission-n3");
+  ASSERT_NE(omission, nullptr);
+  GridOverrides seeded;
+  seeded.seed = 1;
+  try {
+    scenario::expand_scenario(*omission, seeded);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_STREQ(error.what(),
+                 "omission-n3 does not support --seed/--count");
+  }
 }
 
 // Resume's core claim, tested at the library level: running only the

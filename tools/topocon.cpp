@@ -3,11 +3,14 @@
 //
 //   topocon list
 //   topocon describe SCENARIO
-//   topocon run SCENARIO [--threads=N] [--chunk=N] [--json=PATH]
-//                        [--format=table|csv]
+//   topocon run SCENARIO [--threads=N] [--chunk=N] [--frontier=MODE]
+//                        [--json=PATH] [--format=table|csv]
 //                        [--n=N] [--param-min=V] [--param-max=V]
-//   topocon resume PATH [--threads=N] [--chunk=N] [--format=table|csv]
+//                        [--seed=N] [--count=N]
+//   topocon resume PATH [--threads=N] [--chunk=N] [--frontier=MODE]
+//                       [--format=table|csv]
 //   topocon fuzz [--seed=N] [--count=N] [--n=N] [--depth=N] [--threads=N]
+//                [--frontier=MODE]
 //   topocon bench [BINARY...] [--bench-dir=PATH] [--filter=REGEX]
 //                 [--repetitions=N] [--json=PATH]
 //
@@ -67,6 +70,7 @@
 #include "adversary/family.hpp"
 #include "analysis/report.hpp"
 #include "api/api.hpp"
+#include "core/frontier.hpp"
 #include "core/solvability.hpp"
 #include "runtime/sweep/checkpoint.hpp"
 #include "runtime/sweep/cli.hpp"
@@ -102,6 +106,13 @@ int usage(std::ostream& out, int code) {
          "                            4096; like --threads an execution "
          "detail --\n"
          "                            results are identical for every N)\n"
+         "  --frontier=MODE           dedup-table representation: auto "
+         "(default,\n"
+         "                            per-chunk heuristic), dense, or "
+         "sparse; an\n"
+         "                            execution detail -- results are "
+         "identical\n"
+         "                            for every mode\n"
          "  --json=PATH               checkpoint to PATH while running, "
          "then finalize\n"
          "                            it as a topocon-sweep-v1 document\n"
@@ -114,6 +125,16 @@ int usage(std::ostream& out, int code) {
          "count\n"
          "  --param-min=V             lower end of the parameter grid\n"
          "  --param-max=V             upper end of the parameter grid\n"
+         "  --seed=N                  (run only) override the scenario's "
+         "seed, full\n"
+         "                            uint64 range (fuzz-composed; "
+         "--param-min stays\n"
+         "                            usable as a legacy alias)\n"
+         "  --count=N                 (run only) override the scenario's "
+         "point count\n"
+         "                            (fuzz-composed; --param-max stays "
+         "usable as a\n"
+         "                            legacy alias)\n"
          "  --fail-after=K            (testing) crash-exit 3 after K "
          "checkpoint appends\n"
          "\n"
@@ -130,6 +151,10 @@ int usage(std::ostream& out, int code) {
          "(default 2)\n"
          "  --threads=N               pool size for the parallel checker "
          "legs\n"
+         "  --frontier=MODE           dedup-table representation for every "
+         "checker\n"
+         "                            leg (auto|dense|sparse, default "
+         "auto)\n"
          "\n"
          "bench flags:\n"
          "  --bench-dir=PATH          directory holding the bench_* "
@@ -152,6 +177,7 @@ enum class Format { kTable, kCsv };
 struct RunFlags {
   int threads = 0;
   int chunk = 0;  // 0 = default_chunk_states()
+  std::optional<FrontierMode> frontier;
   std::string json_path;
   Format format = Format::kTable;
   scenario::GridOverrides overrides;
@@ -170,6 +196,14 @@ bool parse_flags(int argc, char** argv, int first, RunFlags* flags) {
         flags->chunk = sweep::parse_int_value("chunk", *v);
         if (flags->chunk <= 0) {
           std::cerr << "topocon: --chunk must be >= 1\n";
+          return false;
+        }
+      } else if (const auto v = sweep::flag_value(arg, "frontier")) {
+        flags->frontier = frontier_mode_from_name(*v);
+        if (!flags->frontier.has_value()) {
+          std::cerr << "topocon: --frontier expects 'auto', 'dense', or "
+                       "'sparse', got '"
+                    << *v << "'\n";
           return false;
         }
       } else if (const auto v = sweep::flag_value(arg, "json")) {
@@ -194,6 +228,10 @@ bool parse_flags(int argc, char** argv, int first, RunFlags* flags) {
         flags->overrides.param_min = sweep::parse_int_value("param-min", *v);
       } else if (const auto v = sweep::flag_value(arg, "param-max")) {
         flags->overrides.param_max = sweep::parse_int_value("param-max", *v);
+      } else if (const auto v = sweep::flag_value(arg, "seed")) {
+        flags->overrides.seed = sweep::parse_uint64_value("seed", *v);
+      } else if (const auto v = sweep::flag_value(arg, "count")) {
+        flags->overrides.count = sweep::parse_int_value("count", *v);
       } else if (const auto v = sweep::flag_value(arg, "fail-after")) {
         flags->fail_after = sweep::parse_int_value("fail-after", *v);
       } else {
@@ -241,6 +279,12 @@ sweep::CheckpointHeader make_header(const std::string& scenario_name,
     header.meta.emplace_back("param_max",
                              std::to_string(*overrides.param_max));
   }
+  if (overrides.seed.has_value()) {
+    header.meta.emplace_back("seed", std::to_string(*overrides.seed));
+  }
+  if (overrides.count.has_value()) {
+    header.meta.emplace_back("count", std::to_string(*overrides.count));
+  }
   // The full job description rides along, so resume rebuilds the exact
   // job list from the checkpoint instead of re-expanding the catalog.
   for (const api::Query& query : queries) {
@@ -259,6 +303,10 @@ scenario::GridOverrides overrides_from_meta(
       overrides.param_min = sweep::parse_int_value("param-min", value);
     } else if (key == "param_max") {
       overrides.param_max = sweep::parse_int_value("param-max", value);
+    } else if (key == "seed") {
+      overrides.seed = sweep::parse_uint64_value("seed", value);
+    } else if (key == "count") {
+      overrides.count = sweep::parse_int_value("count", value);
     }
   }
   return overrides;
@@ -465,6 +513,7 @@ int cmd_list() {
     std::string overrides;
     if (s.supports_n) overrides += "--n ";
     if (s.supports_param_range) overrides += "--param-min/max";
+    if (s.supports_seed) overrides += " --seed/--count";
     table.add_row({s.name, std::to_string(plan.queries.size()),
                    overrides.empty() ? "-" : overrides, s.summary});
   }
@@ -521,6 +570,9 @@ int cmd_run(const std::string& name, const RunFlags& flags) {
 
   if (flags.chunk > 0) {
     sweep::set_default_chunk_states(static_cast<std::size_t>(flags.chunk));
+  }
+  if (flags.frontier.has_value()) {
+    set_default_frontier_mode(*flags.frontier);
   }
   api::Session session({.num_threads = flags.threads,
                         .record_global = false});
@@ -690,6 +742,9 @@ int cmd_resume(const std::string& path, const RunFlags& flags) {
   if (flags.chunk > 0) {
     sweep::set_default_chunk_states(static_cast<std::size_t>(flags.chunk));
   }
+  if (flags.frontier.has_value()) {
+    set_default_frontier_mode(*flags.frontier);
+  }
   api::Session session({.num_threads = flags.threads,
                         .record_global = false});
   run_jobs(session, sweep_name, pending, job_index, &ckpt, flags.fail_after,
@@ -706,32 +761,15 @@ int cmd_resume(const std::string& path, const RunFlags& flags) {
 struct FuzzFlags {
   scenario::FuzzSpec spec;
   int threads = 0;
+  std::optional<FrontierMode> frontier;
 };
-
-/// Parses `--seed=N` as the full uint64 range (parse_int_value would cap
-/// the replayable seed space at int).
-std::uint64_t parse_seed_value(std::string_view value) {
-  const std::string text(value);
-  std::size_t used = 0;
-  std::uint64_t seed = 0;
-  try {
-    seed = std::stoull(text, &used);
-  } catch (const std::exception&) {
-    used = 0;
-  }
-  if (text.empty() || used != text.size() || text[0] == '-') {
-    throw std::invalid_argument("--seed expects an unsigned integer, got '" +
-                                text + "'");
-  }
-  return seed;
-}
 
 bool parse_fuzz_flags(int argc, char** argv, FuzzFlags* flags) {
   for (int i = 2; i < argc; ++i) {
     const std::string_view arg = argv[i];
     try {
       if (const auto v = sweep::flag_value(arg, "seed")) {
-        flags->spec.seed = parse_seed_value(*v);
+        flags->spec.seed = sweep::parse_uint64_value("seed", *v);
       } else if (const auto v = sweep::flag_value(arg, "count")) {
         flags->spec.count = sweep::parse_int_value("count", *v);
       } else if (const auto v = sweep::flag_value(arg, "n")) {
@@ -740,6 +778,14 @@ bool parse_fuzz_flags(int argc, char** argv, FuzzFlags* flags) {
         flags->spec.depth = sweep::parse_int_value("depth", *v);
       } else if (const auto v = sweep::flag_value(arg, "threads")) {
         flags->threads = sweep::parse_int_value("threads", *v);
+      } else if (const auto v = sweep::flag_value(arg, "frontier")) {
+        flags->frontier = frontier_mode_from_name(*v);
+        if (!flags->frontier.has_value()) {
+          std::cerr << "topocon: --frontier expects 'auto', 'dense', or "
+                       "'sparse', got '"
+                    << *v << "'\n";
+          return false;
+        }
       } else {
         std::cerr << "topocon: unknown argument '" << arg << "'\n";
         return false;
@@ -792,6 +838,9 @@ std::string describe_divergence(const SolvabilityResult& oracle,
 /// file comment). Exit 0 = every point agrees, 1 = divergence or a point
 /// failed to build, 2 = usage error.
 int cmd_fuzz(const FuzzFlags& flags) {
+  if (flags.frontier.has_value()) {
+    set_default_frontier_mode(*flags.frontier);
+  }
   std::vector<FamilyPoint> points;
   try {
     points = scenario::fuzz_points(flags.spec);
@@ -1043,9 +1092,12 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(argv[2], flags);
     if (!flags.json_path.empty() || flags.overrides.n.has_value() ||
         flags.overrides.param_min.has_value() ||
-        flags.overrides.param_max.has_value()) {
+        flags.overrides.param_max.has_value() ||
+        flags.overrides.seed.has_value() ||
+        flags.overrides.count.has_value()) {
       std::cerr << "topocon: resume takes the checkpoint PATH plus "
-                   "--threads/--format/--fail-after only\n";
+                   "--threads/--chunk/--frontier/--format/--fail-after "
+                   "only\n";
       return 2;
     }
     return cmd_resume(argv[2], flags);
