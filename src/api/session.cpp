@@ -7,6 +7,7 @@ namespace topocon::api {
 void Observer::on_job_start(std::size_t, const Query&) {}
 void Observer::on_depth(std::size_t, const DepthStats&) {}
 void Observer::on_depth(std::size_t, const ChunkProgress&) {}
+void Observer::on_job_telemetry(std::size_t, const telemetry::JobTelemetry&) {}
 void Observer::on_job_done(std::size_t, const sweep::JobOutcome&) {}
 
 Session::Session(SessionOptions options)
@@ -26,6 +27,11 @@ std::vector<sweep::JobOutcome> Session::run(const std::string& name,
   }
 
   sweep::SweepHooks hooks;
+  hooks.collect_telemetry =
+      options_.collect_telemetry || options_.telemetry_in_records;
+  hooks.trace = options_.trace;
+  const bool telemetry_active =
+      hooks.collect_telemetry || hooks.trace != nullptr;
   if (observer != nullptr) {
     hooks.on_job_start = [observer, &queries](std::size_t job,
                                               const sweep::SweepJob&) {
@@ -38,6 +44,13 @@ std::vector<sweep::JobOutcome> Session::run(const std::string& name,
                                 const ChunkProgress& progress) {
       observer->on_depth(job, progress);
     };
+    if (telemetry_active) {
+      hooks.on_job_telemetry =
+          [observer](std::size_t job,
+                     const telemetry::JobTelemetry& snapshot) {
+            observer->on_job_telemetry(job, snapshot);
+          };
+    }
     hooks.on_job_done = [observer](std::size_t job,
                                    const sweep::JobOutcome& outcome) {
       observer->on_job_done(job, outcome);
@@ -62,7 +75,8 @@ std::vector<sweep::JobOutcome> Session::run(const std::string& name,
   std::vector<sweep::JobRecord> records;
   records.reserve(outcomes.size());
   for (const sweep::JobOutcome& outcome : outcomes) {
-    records.push_back(sweep::summarize(outcome));
+    records.push_back(
+        sweep::summarize(outcome, options_.telemetry_in_records));
   }
   if (options_.record_global && sweep::SweepRegistry::instance().enabled()) {
     sweep::SweepRegistry::instance().record(name, records);

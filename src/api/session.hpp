@@ -54,6 +54,20 @@ struct SessionOptions {
   /// (the --sweep-json surface of the bench binaries). The registry still
   /// applies its own enabled() gate.
   bool record_global = true;
+  /// Collect per-job telemetry (telemetry/metrics.hpp) into
+  /// JobOutcome::telemetry. Off by default: collection is zero-cost when
+  /// no surface below (or an Observer::on_job_telemetry override) wants
+  /// it. The counters are deterministic across thread counts; the
+  /// timings are not.
+  bool collect_telemetry = false;
+  /// Additionally embed each record's counters as the JSON "telemetry"
+  /// section of the history (implies collect_telemetry). Off by default
+  /// so existing artifacts stay byte-identical.
+  bool telemetry_in_records = false;
+  /// Chrome-trace span writer shared by every run of this session
+  /// (telemetry/trace.hpp); must outlive the Session. Non-null implies
+  /// collect_telemetry. Null = no tracing.
+  telemetry::TraceWriter* trace = nullptr;
 };
 
 /// Streaming view of a running Session (see the header comment).
@@ -71,6 +85,13 @@ class Observer {
   /// Many per depth, level by level; intended for progress display.
   /// Counters only -- chunk completion order is thread-count-dependent.
   virtual void on_depth(std::size_t job, const ChunkProgress& progress);
+  /// Job `job`'s telemetry snapshot: deterministic counters plus
+  /// (thread-count-dependent) per-level timings. Fired before the job's
+  /// on_job_done, and only when the session has a telemetry surface
+  /// enabled (SessionOptions::collect_telemetry / telemetry_in_records /
+  /// trace) -- a default-constructed session never pays for collection.
+  virtual void on_job_telemetry(std::size_t job,
+                                const telemetry::JobTelemetry& snapshot);
   /// Job `job` finished; `outcome` carries its final aggregates. Follows
   /// every on_depth of the same job.
   virtual void on_job_done(std::size_t job,

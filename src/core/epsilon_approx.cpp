@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <map>
 #include <unordered_map>
 
 #include "core/frontier.hpp"
 #include "core/union_find.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace topocon {
 
@@ -229,10 +232,32 @@ DepthAnalysis analyze_depth(const MessageAdversary& adversary,
       static_cast<int>(all_input_vectors(n, options.num_values).size());
   FrontierEngine engine(adversary, options, *analysis.interner, 0,
                         num_roots);
+  telemetry::MetricsRegistry* metrics = options.metrics;
+  telemetry::TraceWriter* trace =
+      metrics != nullptr ? metrics->trace() : nullptr;
+  if (metrics != nullptr) metrics->note_frontier(engine.frontier().size());
   for (int s = 1; s <= options.depth; ++s) {
+    const std::uint64_t span_start =
+        trace != nullptr ? trace->now_us() : 0;
+    const auto level_start = std::chrono::steady_clock::now();
     if (!engine.advance()) {
       analysis.truncated = true;
+      if (metrics != nullptr) metrics->add_budget_abort();
       break;
+    }
+    if (metrics != nullptr) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - level_start;
+      metrics->add_level(options.depth, s, engine.frontier().size(),
+                         elapsed.count());
+      if (trace != nullptr) {
+        trace->complete(
+            "level", "level", span_start, trace->now_us() - span_start,
+            {telemetry::TraceArg::num("depth",
+                                      static_cast<std::uint64_t>(options.depth)),
+             telemetry::TraceArg::num("level", static_cast<std::uint64_t>(s)),
+             telemetry::TraceArg::num("states", engine.frontier().size())});
+      }
     }
   }
   analysis.depth = engine.level();

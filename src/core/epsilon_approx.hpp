@@ -42,6 +42,10 @@
 
 namespace topocon {
 
+namespace telemetry {
+class MetricsRegistry;
+}  // namespace telemetry
+
 /// Which topology induces the component adjacency (Section 4):
 ///  * kMin  -- the minimum topology d_min (the paper's characterization
 ///    topology, Section 4.2): leaves adjacent iff SOME process has equal
@@ -94,6 +98,10 @@ struct AnalysisOptions {
   /// Pending-level dedup representation; like keep_levels an execution
   /// detail that is never serialized and never changes a result byte.
   FrontierMode frontier = FrontierMode::kDefault;
+  /// Optional per-job telemetry sink (telemetry/metrics.hpp). An
+  /// execution detail like `frontier`: never serialized, never changes a
+  /// result byte; null disables all collection at zero hot-path cost.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 /// One deduplicated prefix class at some level of the BFS.

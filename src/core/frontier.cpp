@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "ptg/reach.hpp"
+#include "telemetry/trace.hpp"
 
 namespace topocon {
 
@@ -179,6 +180,7 @@ int WordSeqIndex::append_new(const std::uint32_t* words, std::size_t count) {
 }
 
 void WordSeqIndex::grow() {
+  ++rehashes_;
   std::vector<int> next(slots_.size() * 2, -1);
   const std::size_t mask = next.size() - 1;
   for (std::size_t e = 0; e < entries_.size(); ++e) {
@@ -275,6 +277,10 @@ PendingFrontier FrontierEngine::expand(const FrontierChunk& chunk,
     return out;
   }
   if (options_.keep_levels) out.children.resize(chunk.end - chunk.begin);
+  telemetry::TraceWriter* trace =
+      options_.metrics != nullptr ? options_.metrics->trace() : nullptr;
+  const std::uint64_t span_start = trace != nullptr ? trace->now_us() : 0;
+  std::uint64_t emissions = 0;
 
   const std::size_t chunk_size = chunk.end - chunk.begin;
   const std::size_t num_pairs = shape_.pairs.size();
@@ -526,6 +532,7 @@ PendingFrontier FrontierEngine::expand(const FrontierChunk& chunk,
             static_cast<std::uint32_t>(view_index);
       }
       state_key[0] = static_cast<std::uint32_t>(adv_next);
+      ++emissions;
       bool inserted;
       int index;
       if (dense_states) {
@@ -579,6 +586,26 @@ PendingFrontier FrontierEngine::expand(const FrontierChunk& chunk,
       !budget->add(out.states.size() - reported)) {
     out.overflow = true;
   }
+  out.stats.chunks = 1;
+  out.stats.dense_view_chunks = dense_views ? 1 : 0;
+  out.stats.dense_state_chunks = dense_states ? 1 : 0;
+  out.stats.emissions = emissions;
+  out.stats.pending_states = out.states.size();
+  out.stats.dedup_hits = emissions - out.states.size();
+  out.stats.pending_views = out.views.size();
+  out.stats.rehashes = out.views.rehashes() + out.state_index.rehashes();
+  if (trace != nullptr) {
+    trace->complete(
+        "chunk", "expand", span_start, trace->now_us() - span_start,
+        {telemetry::TraceArg::num("depth",
+                                  static_cast<std::uint64_t>(options_.depth)),
+         telemetry::TraceArg::num("level",
+                                  static_cast<std::uint64_t>(level_) + 1),
+         telemetry::TraceArg::num("begin", chunk.begin),
+         telemetry::TraceArg::num("end", chunk.end),
+         telemetry::TraceArg::num("states", out.states.size()),
+         telemetry::TraceArg::num("dense", dense_views ? 1 : 0)});
+  }
   return out;
 }
 
@@ -604,6 +631,7 @@ PendingFrontier FrontierEngine::merge(
   std::vector<int> state_remap;
   std::vector<std::uint32_t> state_key;
   for (PendingFrontier& chunk : chunks) {
+    level.stats.add(chunk.stats);
     // Re-key the chunk's distinct views in the merged view table (one
     // long-key lookup per distinct view, not per state).
     view_remap.assign(chunk.views.size(), -1);
@@ -650,6 +678,15 @@ PendingFrontier FrontierEngine::merge(
       }
     }
   }
+  // Fix up the summed chunk stats for the cross-chunk dedup this merge
+  // performed: duplicates across chunks count as dedup hits, and the
+  // distinct view/state tallies become the merged tables' sizes.
+  const std::uint64_t chunk_states_total = level.stats.pending_states;
+  level.stats.pending_states = level.states.size();
+  level.stats.dedup_hits += chunk_states_total - level.states.size();
+  level.stats.pending_views = level.views.size();
+  level.stats.rehashes +=
+      level.views.rehashes() + level.state_index.rehashes();
   return level;
 }
 
@@ -658,6 +695,7 @@ void FrontierEngine::commit(PendingFrontier level) {
   // Sequential hand-off: commits of one engine happen one at a time but
   // possibly from different pool threads across levels.
   interner_->attach_to_current_thread();
+  const std::size_t views_before = interner_->size();
   const int n = adversary_->num_processes();
   std::vector<PrefixState> next;
   next.reserve(level.states.size());
@@ -709,6 +747,13 @@ void FrontierEngine::commit(PendingFrontier level) {
     children_.push_back(std::move(level.children));
     levels_.push_back(frontier_);
     first_parent_.push_back(std::move(parents));
+  }
+  // The single counter-flush point: only committed levels reach it, so
+  // every count is identical at any thread count (see telemetry/metrics).
+  if (options_.metrics != nullptr) {
+    options_.metrics->add_pending(level.stats);
+    options_.metrics->add_commit(frontier_.size(), interner_->size() -
+                                                       views_before);
   }
 }
 

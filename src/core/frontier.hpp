@@ -49,6 +49,7 @@
 #include "adversary/adversary.hpp"
 #include "core/epsilon_approx.hpp"
 #include "ptg/view_intern.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace topocon {
 
@@ -89,6 +90,8 @@ class WordSeqIndex {
   int append_new(const std::uint32_t* words, std::size_t count);
 
   std::size_t size() const { return entries_.size(); }
+  /// Probe-table growth rehashes performed so far (telemetry).
+  std::uint64_t rehashes() const { return rehashes_; }
   const std::uint32_t* words_of(int index) const {
     return pool_.data() + entries_[static_cast<std::size_t>(index)].offset;
   }
@@ -110,6 +113,7 @@ class WordSeqIndex {
   std::vector<int> slots_;
   /// True once append_new bypassed the probe table (see its contract).
   bool appended_ = false;
+  std::uint64_t rehashes_ = 0;
 };
 
 /// Per-state metadata of a pending (not yet interned) level; the view
@@ -143,6 +147,10 @@ struct PendingFrontier {
   std::vector<std::vector<int>> children;
   /// True iff the slice exceeded max_states (states incomplete).
   bool overflow = false;
+  /// Expansion statistics of this slice, flushed into
+  /// AnalysisOptions::metrics only at commit() so truncated levels never
+  /// contribute (the determinism contract in telemetry/metrics.hpp).
+  telemetry::PendingStats stats;
 };
 
 /// Shared early-abort accumulator for one level's concurrent chunk

@@ -1,6 +1,10 @@
 #include "core/solvability.hpp"
 
 #include <memory>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace topocon {
 
@@ -48,6 +52,8 @@ SolvabilityResult check_solvability_with(const MessageAdversary& adversary,
   SolvabilityResult result;
   result.closure_only = !adversary.is_compact();
   auto interner = std::make_shared<ViewInterner>();
+  telemetry::TraceWriter* trace =
+      options.metrics != nullptr ? options.metrics->trace() : nullptr;
 
   for (int depth = 1; depth <= options.max_depth; ++depth) {
     AnalysisOptions analysis_options;
@@ -55,7 +61,17 @@ SolvabilityResult check_solvability_with(const MessageAdversary& adversary,
     analysis_options.num_values = options.num_values;
     analysis_options.max_states = options.max_states;
     analysis_options.keep_levels = false;  // cheap pass first
+    analysis_options.metrics = options.metrics;
+    const std::uint64_t span_start =
+        trace != nullptr ? trace->now_us() : 0;
     DepthAnalysis cheap = analyze(analysis_options, interner);
+    if (trace != nullptr) {
+      trace->complete(
+          "depth " + std::to_string(depth), "depth", span_start,
+          trace->now_us() - span_start,
+          {telemetry::TraceArg::num("depth", static_cast<std::uint64_t>(depth)),
+           telemetry::TraceArg::num("leaf_classes", cheap.leaves().size())});
+    }
     if (cheap.truncated) {
       result.verdict = SolvabilityVerdict::kResourceLimit;
       result.analysis = std::move(cheap);
@@ -83,7 +99,16 @@ SolvabilityResult check_solvability_with(const MessageAdversary& adversary,
       result.certified_depth = depth;
       if (options.build_table) {
         analysis_options.keep_levels = true;
+        const std::uint64_t certify_start =
+            trace != nullptr ? trace->now_us() : 0;
         DepthAnalysis full = analyze(analysis_options, interner);
+        if (trace != nullptr) {
+          trace->complete("depth " + std::to_string(depth) + " (certify)",
+                          "depth", certify_start,
+                          trace->now_us() - certify_start,
+                          {telemetry::TraceArg::num(
+                              "depth", static_cast<std::uint64_t>(depth))});
+        }
         result.table = DecisionTable::build(full, options.strong_validity);
         result.analysis = std::move(full);
       } else {

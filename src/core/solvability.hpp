@@ -58,6 +58,10 @@ struct SolvabilityOptions {
   /// component is broadcastable its broadcaster's uniform input provides a
   /// strong assignment, so solvable adversaries certify eventually.
   bool strong_validity = false;
+  /// Optional per-job telemetry sink, copied into every depth's
+  /// AnalysisOptions (telemetry/metrics.hpp). An execution detail: never
+  /// serialized, never changes a verdict byte; null = no collection.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 struct DepthStats {

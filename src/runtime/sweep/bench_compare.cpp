@@ -1,0 +1,138 @@
+#include "runtime/sweep/bench_compare.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "runtime/sweep/json.hpp"
+
+namespace topocon::sweep {
+
+namespace {
+
+/// google-benchmark time_unit -> nanoseconds multiplier.
+double unit_to_ns(const std::string& unit) {
+  if (unit == "ns") return 1.0;
+  if (unit == "us") return 1e3;
+  if (unit == "ms") return 1e6;
+  if (unit == "s") return 1e9;
+  throw std::runtime_error("bench json: unknown time_unit \"" + unit + "\"");
+}
+
+}  // namespace
+
+BenchBaseline parse_bench_baseline(std::string_view text) {
+  const JsonValue root = JsonReader::parse(text);
+  const std::string& schema = root.at("schema").as_string();
+  if (schema != kBenchBaselineSchema) {
+    throw std::runtime_error("bench baseline: unknown schema \"" + schema +
+                             "\"");
+  }
+  BenchBaseline baseline;
+  baseline.default_tolerance_pct =
+      root.at("default_tolerance_pct").as_uint();
+  const JsonValue& benchmarks = root.at("benchmarks");
+  if (!benchmarks.is_array()) {
+    throw std::runtime_error("bench baseline: \"benchmarks\" is not an array");
+  }
+  for (const JsonValue& entry : benchmarks.elements) {
+    BenchBaselineEntry parsed;
+    parsed.name = entry.at("name").as_string();
+    parsed.real_time_ns = entry.at("real_time_ns").as_uint();
+    if (const JsonValue* tolerance = entry.find("tolerance_pct")) {
+      parsed.tolerance_pct = tolerance->as_uint();
+    }
+    baseline.benchmarks.push_back(std::move(parsed));
+  }
+  return baseline;
+}
+
+std::string write_bench_baseline(const BenchBaseline& baseline) {
+  std::ostringstream out;
+  JsonWriter writer(out);
+  writer.begin_object();
+  writer.member("schema", kBenchBaselineSchema);
+  writer.member("default_tolerance_pct", baseline.default_tolerance_pct);
+  writer.key("benchmarks");
+  writer.begin_array();
+  for (const BenchBaselineEntry& entry : baseline.benchmarks) {
+    writer.begin_object();
+    writer.member("name", entry.name);
+    writer.member("real_time_ns", entry.real_time_ns);
+    if (entry.tolerance_pct.has_value()) {
+      writer.member("tolerance_pct", *entry.tolerance_pct);
+    }
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.end_object();
+  out << '\n';
+  return out.str();
+}
+
+std::vector<BenchMeasurement> parse_benchmark_results(std::string_view text) {
+  const JsonValue root =
+      JsonReader::parse(text, JsonNumbers::kAllowFloats);
+  const JsonValue& benchmarks = root.at("benchmarks");
+  if (!benchmarks.is_array()) {
+    throw std::runtime_error("bench json: \"benchmarks\" is not an array");
+  }
+  std::vector<BenchMeasurement> measurements;
+  for (const JsonValue& entry : benchmarks.elements) {
+    // Aggregate rows (mean/median/stddev of repetitions) would skew the
+    // minimum; older google-benchmark versions omit run_type entirely,
+    // in which case every row is an iteration.
+    if (const JsonValue* run_type = entry.find("run_type")) {
+      if (run_type->as_string() != "iteration") continue;
+    }
+    const std::string& name = entry.at("name").as_string();
+    const double ns =
+        entry.at("real_time").as_double() *
+        unit_to_ns(entry.at("time_unit").as_string());
+    bool merged = false;
+    for (BenchMeasurement& seen : measurements) {
+      if (seen.name == name) {
+        if (ns < seen.real_time_ns) seen.real_time_ns = ns;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      measurements.push_back(BenchMeasurement{name, ns});
+    }
+  }
+  return measurements;
+}
+
+BenchCompareReport compare_bench_results(
+    const BenchBaseline& baseline,
+    const std::vector<BenchMeasurement>& measurements) {
+  BenchCompareReport report;
+  report.rows.reserve(baseline.benchmarks.size());
+  for (const BenchBaselineEntry& entry : baseline.benchmarks) {
+    BenchComparison row;
+    row.name = entry.name;
+    row.baseline_ns = entry.real_time_ns;
+    row.tolerance_pct =
+        entry.tolerance_pct.value_or(baseline.default_tolerance_pct);
+    const BenchMeasurement* found = nullptr;
+    for (const BenchMeasurement& measurement : measurements) {
+      if (measurement.name == entry.name) {
+        found = &measurement;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      row.missing = true;
+    } else {
+      row.current_ns = found->real_time_ns;
+      const double limit =
+          static_cast<double>(row.baseline_ns) *
+          (1.0 + static_cast<double>(row.tolerance_pct) / 100.0);
+      row.regressed = row.current_ns > limit;
+    }
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+}  // namespace topocon::sweep

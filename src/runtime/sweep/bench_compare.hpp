@@ -1,0 +1,99 @@
+// Bench regression gate: compare a google-benchmark JSON result file
+// against a committed baseline (bench/baselines/*.json).
+//
+// The baseline is a topocon-authored document in the deterministic JSON
+// subset (integers only, so it round-trips through JsonWriter):
+//
+//   {
+//     "schema": "topocon-bench-baseline-v1",
+//     "default_tolerance_pct": 300,
+//     "benchmarks": [
+//       {"name": "BM_CheckOmission/2/0", "real_time_ns": 12345},
+//       {"name": "BM_CheckOmission/3/1", "real_time_ns": 678901,
+//        "tolerance_pct": 500}
+//     ]
+//   }
+//
+// The current side is google-benchmark's own --benchmark_format=json
+// output, parsed in float mode (JsonNumbers::kAllowFloats). Per name the
+// MINIMUM real_time across repetitions is compared (minimum, not mean:
+// it is the best estimate of the true cost under CI noise); aggregate
+// rows (run_type != "iteration") are skipped. A benchmark listed in the
+// baseline but absent from the results is a failure -- a silently
+// disappearing benchmark must not pass the gate -- while extra result
+// rows are ignored, so the baseline can stay a curated subset.
+//
+// Tolerances are generous by design (hundreds of percent): the gate
+// exists to catch order-of-magnitude regressions on shared CI runners,
+// not single-digit drift.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace topocon::sweep {
+
+inline constexpr std::string_view kBenchBaselineSchema =
+    "topocon-bench-baseline-v1";
+
+struct BenchBaselineEntry {
+  std::string name;
+  std::uint64_t real_time_ns = 0;
+  /// Overrides BenchBaseline::default_tolerance_pct when set.
+  std::optional<std::uint64_t> tolerance_pct;
+};
+
+struct BenchBaseline {
+  std::uint64_t default_tolerance_pct = 300;
+  std::vector<BenchBaselineEntry> benchmarks;
+};
+
+/// One benchmark's minimum iteration time from a results file.
+struct BenchMeasurement {
+  std::string name;
+  double real_time_ns = 0;
+};
+
+/// Outcome of one baseline row against the measurements.
+struct BenchComparison {
+  std::string name;
+  std::uint64_t baseline_ns = 0;
+  double current_ns = 0;      ///< 0 when missing
+  std::uint64_t tolerance_pct = 0;
+  bool missing = false;       ///< baseline row absent from the results
+  bool regressed = false;     ///< current > baseline * (1 + tol/100)
+};
+
+struct BenchCompareReport {
+  std::vector<BenchComparison> rows;  ///< baseline order
+
+  bool ok() const {
+    for (const BenchComparison& row : rows) {
+      if (row.missing || row.regressed) return false;
+    }
+    return true;
+  }
+};
+
+/// Parses a baseline document. Throws std::runtime_error on malformed
+/// input or an unknown schema.
+BenchBaseline parse_bench_baseline(std::string_view text);
+
+/// Serializes a baseline in the canonical (pretty, integer-only) style.
+std::string write_bench_baseline(const BenchBaseline& baseline);
+
+/// Extracts per-name minimum iteration times from google-benchmark JSON
+/// (--benchmark_format=json / --benchmark_out). Throws std::runtime_error
+/// on malformed input.
+std::vector<BenchMeasurement> parse_benchmark_results(std::string_view text);
+
+/// Compares every baseline row against the measurements (see the header
+/// comment for the policy). Rows come back in baseline order.
+BenchCompareReport compare_bench_results(
+    const BenchBaseline& baseline,
+    const std::vector<BenchMeasurement>& measurements);
+
+}  // namespace topocon::sweep

@@ -54,6 +54,23 @@ ComponentInfo component_from_json(const JsonValue& value) {
   return info;
 }
 
+telemetry::TelemetryCounters telemetry_from_json(const JsonValue& value) {
+  telemetry::TelemetryCounters counters;
+  counters.states_expanded = value.at("states_expanded").as_uint();
+  counters.state_dedup_hits = value.at("state_dedup_hits").as_uint();
+  counters.states_committed = value.at("states_committed").as_uint();
+  counters.pending_views = value.at("pending_views").as_uint();
+  counters.views_interned = value.at("views_interned").as_uint();
+  counters.chunks_expanded = value.at("chunks_expanded").as_uint();
+  counters.dense_view_chunks = value.at("dense_view_chunks").as_uint();
+  counters.dense_state_chunks = value.at("dense_state_chunks").as_uint();
+  counters.wordseq_rehashes = value.at("wordseq_rehashes").as_uint();
+  counters.levels_committed = value.at("levels_committed").as_uint();
+  counters.budget_early_aborts = value.at("budget_early_aborts").as_uint();
+  counters.frontier_high_water = value.at("frontier_high_water").as_uint();
+  return counters;
+}
+
 void write_meta_compact(JsonWriter& writer, const CheckpointHeader& header) {
   writer.member("schema", kCheckpointSchema);
   writer.member("name", header.sweep_name);
@@ -246,6 +263,11 @@ JobRecord job_record_from_json(const JsonValue& value) {
                              "\"");
   }
   record.kind = *kind;
+  // The optional counters section appears for every kind, always last in
+  // the object; parse it up front since the kind branches return early.
+  if (const JsonValue* counters = value.find("telemetry")) {
+    record.telemetry = telemetry_from_json(*counters);
+  }
   if (record.kind == JobKind::kDecisionTable) {
     record.verdict = value.at("verdict").as_string();
     if (!parse_solvability_verdict(record.verdict).has_value()) {

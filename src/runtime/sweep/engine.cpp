@@ -8,6 +8,7 @@
 
 #include "runtime/sweep/parallel_solver.hpp"
 #include "runtime/sweep/thread_pool.hpp"
+#include "telemetry/trace.hpp"
 
 namespace topocon::sweep {
 
@@ -18,6 +19,25 @@ namespace {
 constexpr std::size_t kMaxJsonComponents = 64;
 
 std::atomic<int> g_default_threads{0};
+
+void write_telemetry_counters(JsonWriter& writer,
+                              const telemetry::TelemetryCounters& counters) {
+  writer.key("telemetry");
+  writer.begin_object();
+  writer.member("states_expanded", counters.states_expanded);
+  writer.member("state_dedup_hits", counters.state_dedup_hits);
+  writer.member("states_committed", counters.states_committed);
+  writer.member("pending_views", counters.pending_views);
+  writer.member("views_interned", counters.views_interned);
+  writer.member("chunks_expanded", counters.chunks_expanded);
+  writer.member("dense_view_chunks", counters.dense_view_chunks);
+  writer.member("dense_state_chunks", counters.dense_state_chunks);
+  writer.member("wordseq_rehashes", counters.wordseq_rehashes);
+  writer.member("levels_committed", counters.levels_committed);
+  writer.member("budget_early_aborts", counters.budget_early_aborts);
+  writer.member("frontier_high_water", counters.frontier_high_water);
+  writer.end_object();
+}
 
 void write_depth_stats(JsonWriter& writer, const DepthStats& stats) {
   writer.begin_object();
@@ -118,15 +138,21 @@ void write_job_record_json(JsonWriter& writer, const JobRecord& record) {
     }
     writer.end_array();
   }
+  if (record.telemetry.has_value()) {
+    write_telemetry_counters(writer, *record.telemetry);
+  }
   writer.end_object();
 }
 
-JobRecord summarize(const JobOutcome& outcome) {
+JobRecord summarize(const JobOutcome& outcome, bool include_telemetry) {
   JobRecord record;
   record.family = outcome.family;
   record.label = outcome.label;
   record.n = outcome.n;
   record.kind = outcome.kind;
+  if (include_telemetry && outcome.telemetry.has_value()) {
+    record.telemetry = outcome.telemetry->counters;
+  }
   // Only the kind's own fields are filled, so a record is exactly the
   // JSON-visible projection and survives a write/parse round trip.
   if (outcome.kind == JobKind::kDepthSeries) {
@@ -204,6 +230,10 @@ std::vector<JobOutcome> run_sweep_on(const SweepSpec& spec, ThreadPool& pool,
   std::vector<JobOutcome> outcomes(spec.jobs.size());
   std::mutex hook_mutex;
 
+  const bool want_telemetry = hooks.collect_telemetry ||
+                              hooks.trace != nullptr ||
+                              static_cast<bool>(hooks.on_job_telemetry);
+
   pool.parallel_for(spec.jobs.size(), [&](std::size_t j) {
     const SweepJob& job = spec.jobs[j];
     JobOutcome& outcome = outcomes[j];
@@ -211,6 +241,11 @@ std::vector<JobOutcome> run_sweep_on(const SweepSpec& spec, ThreadPool& pool,
     outcome.label = family_point_label(job.point);
     outcome.n = job.point.n;
     outcome.kind = job.kind;
+    // One registry per job, on the job's stack: counter flushes arrive
+    // concurrently from the commit parallel_for, snapshot() only after
+    // the solver returned.
+    std::optional<telemetry::MetricsRegistry> registry;
+    if (want_telemetry) registry.emplace(hooks.trace);
     if (hooks.on_job_start) {
       const std::lock_guard<std::mutex> lock(hook_mutex);
       hooks.on_job_start(j, job);
@@ -230,12 +265,15 @@ std::vector<JobOutcome> run_sweep_on(const SweepSpec& spec, ThreadPool& pool,
       };
     }
     const auto start = std::chrono::steady_clock::now();
+    const std::uint64_t span_start =
+        hooks.trace != nullptr ? hooks.trace->now_us() : 0;
     const std::unique_ptr<MessageAdversary> adversary =
         make_family_adversary(job.point);
     if (job.kind == JobKind::kSolvability ||
         job.kind == JobKind::kDecisionTable) {
       SolvabilityOptions solve = job.solve;
       if (job.kind == JobKind::kDecisionTable) solve.build_table = true;
+      if (registry.has_value()) solve.metrics = &*registry;
       outcome.result = parallel_check_solvability(*adversary, solve, pool,
                                                   on_depth, sharding);
     } else {
@@ -244,6 +282,7 @@ std::vector<JobOutcome> run_sweep_on(const SweepSpec& spec, ThreadPool& pool,
         AnalysisOptions per_depth = job.analysis;
         per_depth.depth = depth;
         per_depth.keep_levels = false;
+        if (registry.has_value()) per_depth.metrics = &*registry;
         const DepthAnalysis analysis = parallel_analyze_depth(
             *adversary, per_depth, pool, interner, sharding);
         if (analysis.truncated) break;
@@ -264,6 +303,22 @@ std::vector<JobOutcome> run_sweep_on(const SweepSpec& spec, ThreadPool& pool,
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    if (hooks.trace != nullptr) {
+      hooks.trace->complete(
+          outcome.label, "job", span_start,
+          hooks.trace->now_us() - span_start,
+          {telemetry::TraceArg::str("family", outcome.family),
+           telemetry::TraceArg::str("kind", to_string(outcome.kind)),
+           telemetry::TraceArg::num("job", j)});
+    }
+    if (registry.has_value()) {
+      registry->set_wall_seconds(outcome.wall_seconds);
+      outcome.telemetry = registry->snapshot();
+      if (hooks.on_job_telemetry) {
+        const std::lock_guard<std::mutex> lock(hook_mutex);
+        hooks.on_job_telemetry(j, *outcome.telemetry);
+      }
+    }
     if (hooks.on_job_done || spec.on_job_done) {
       const std::lock_guard<std::mutex> lock(hook_mutex);
       if (hooks.on_job_done) hooks.on_job_done(j, outcome);

@@ -37,6 +37,7 @@
 #include "core/frontier.hpp"
 #include "core/solvability.hpp"
 #include "runtime/sweep/json.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace topocon::sweep {
 
@@ -83,6 +84,10 @@ struct JobOutcome {
   /// Wall-clock seconds of this job (informational; never serialized --
   /// it is the one thread-count-dependent field).
   double wall_seconds = 0;
+  /// Per-job telemetry snapshot; present only when the sweep ran with a
+  /// telemetry surface enabled (SweepHooks). The counters inside are
+  /// deterministic across thread counts; the timings are not.
+  std::optional<telemetry::JobTelemetry> telemetry;
 };
 
 struct SweepSpec {
@@ -113,7 +118,19 @@ struct SweepHooks {
   /// progress display. Counters only; chunk completion order is
   /// thread-count-dependent.
   std::function<void(std::size_t, const ChunkProgress&)> on_chunk;
+  /// Fired once per job with its telemetry snapshot, before the job's
+  /// on_job_done. Setting it (or `collect_telemetry`, or `trace`) makes
+  /// every job run with a MetricsRegistry and fill
+  /// JobOutcome::telemetry; otherwise collection is off at zero cost.
+  std::function<void(std::size_t, const telemetry::JobTelemetry&)>
+      on_job_telemetry;
   std::function<void(std::size_t, const JobOutcome&)> on_job_done;
+  /// Collect telemetry into JobOutcome::telemetry even without an
+  /// on_job_telemetry consumer (e.g. for the JSON "telemetry" section).
+  bool collect_telemetry = false;
+  /// Chrome-trace span writer shared by every job of the sweep
+  /// (telemetry/trace.hpp); must outlive the run. Null = no tracing.
+  telemetry::TraceWriter* trace = nullptr;
 };
 
 /// Runs all jobs of the spec on an existing pool. Outcomes are indexed
@@ -165,14 +182,22 @@ struct JobRecord {
   /// kDecisionTable only: entries becoming applicable per round (index =
   /// round, sums to table->entries). Empty when no table was extracted.
   std::vector<std::uint64_t> round_entries;
+  /// The optional JSON "telemetry" section: the job's deterministic
+  /// counters. Present only when summarize() ran with include_telemetry
+  /// (off by default so existing artifacts stay byte-identical).
+  std::optional<telemetry::TelemetryCounters> telemetry;
 
   /// Field-wise equality; with json_reader this makes "record -> JSON ->
   /// record" round-trips checkable.
   friend bool operator==(const JobRecord&, const JobRecord&) = default;
 };
 
-/// Extracts the JSON-visible aggregates of an outcome.
-JobRecord summarize(const JobOutcome& outcome);
+/// Extracts the JSON-visible aggregates of an outcome. When
+/// include_telemetry is set and the outcome carries a telemetry snapshot,
+/// its counters (only -- never the timings, which are thread-count-
+/// dependent) become the record's "telemetry" section.
+JobRecord summarize(const JobOutcome& outcome,
+                    bool include_telemetry = false);
 
 /// Serializes one record as a JSON object (the "jobs" array element
 /// format; also the checkpoint line format, see checkpoint.hpp).

@@ -90,12 +90,22 @@ std::string json_escape(std::string_view text);
 /// Negative integers parse as kInt, non-negative ones as kUint; object
 /// member order is the document order.
 struct JsonValue {
-  enum class Kind { kNull, kBool, kInt, kUint, kString, kArray, kObject };
+  enum class Kind {
+    kNull,
+    kBool,
+    kInt,
+    kUint,
+    kDouble,  // float-mode parses only; the canonical writer never emits it
+    kString,
+    kArray,
+    kObject
+  };
 
   Kind kind = Kind::kNull;
   bool boolean = false;
-  std::int64_t int_number = 0;    // kInt
-  std::uint64_t uint_number = 0;  // kUint
+  std::int64_t int_number = 0;     // kInt
+  std::uint64_t uint_number = 0;   // kUint
+  double double_number = 0;        // kDouble
   std::string string;
   std::vector<JsonValue> elements;                         // kArray
   std::vector<std::pair<std::string, JsonValue>> members;  // kObject
@@ -115,10 +125,12 @@ struct JsonValue {
   const JsonValue& at(std::string_view key) const;
 
   /// Checked accessors; every one throws std::runtime_error on a kind
-  /// mismatch (as_int accepts kUint values that fit, and vice versa).
+  /// mismatch (as_int accepts kUint values that fit, and vice versa;
+  /// as_double accepts any numeric kind).
   bool as_bool() const;
   std::int64_t as_int() const;
   std::uint64_t as_uint() const;
+  double as_double() const;
   const std::string& as_string() const;
 };
 
@@ -130,16 +142,26 @@ struct JsonValue {
 /// container layer knowing their schema.
 void write_json_value(JsonWriter& writer, const JsonValue& value);
 
+/// Which numeric literals JsonReader accepts. kIntegersOnly is the
+/// deterministic subset (floats rejected by design, see the header
+/// comment); kAllowFloats additionally parses floating-point literals as
+/// kDouble values -- for FOREIGN documents only (google-benchmark output,
+/// bench_compare baselines), never for topocon's own artifacts, which
+/// must stay round-trippable through the integer-only writer.
+enum class JsonNumbers { kIntegersOnly, kAllowFloats };
+
 /// Parser for the deterministic JSON subset (the counterpart of
 /// JsonWriter). Throws std::runtime_error with a byte offset on malformed
-/// input; floating-point literals are rejected by design.
+/// input; floating-point literals are rejected unless opted into.
 class JsonReader {
  public:
   /// Parses exactly one document (trailing whitespace allowed).
-  static JsonValue parse(std::string_view text);
+  static JsonValue parse(std::string_view text,
+                         JsonNumbers numbers = JsonNumbers::kIntegersOnly);
 
  private:
-  explicit JsonReader(std::string_view text) : text_(text) {}
+  explicit JsonReader(std::string_view text, JsonNumbers numbers)
+      : text_(text), numbers_(numbers) {}
 
   JsonValue parse_value(int depth);
   std::string parse_string();
@@ -152,6 +174,7 @@ class JsonReader {
   [[noreturn]] void fail(const std::string& message) const;
 
   std::string_view text_;
+  JsonNumbers numbers_ = JsonNumbers::kIntegersOnly;
   std::size_t pos_ = 0;
 };
 

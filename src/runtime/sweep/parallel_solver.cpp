@@ -1,11 +1,15 @@
 #include "runtime/sweep/parallel_solver.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace topocon::sweep {
 
@@ -61,8 +65,14 @@ DepthAnalysis parallel_analyze_depth(const MessageAdversary& adversary,
   // ---- Levels 1..depth, level-synchronous: expand all (root, chunk)
   // work items of a level on the pool, merge per root in chunk order,
   // apply the global state budget, then commit.
+  telemetry::MetricsRegistry* metrics = options.metrics;
+  telemetry::TraceWriter* trace =
+      metrics != nullptr ? metrics->trace() : nullptr;
   std::mutex progress_mutex;
   for (int s = 1; s <= options.depth && !analysis.truncated; ++s) {
+    const std::uint64_t span_start =
+        trace != nullptr ? trace->now_us() : 0;
+    const auto level_start = std::chrono::steady_clock::now();
     struct Item {
       std::size_t root;
       FrontierChunk chunk;
@@ -132,6 +142,9 @@ DepthAnalysis parallel_analyze_depth(const MessageAdversary& adversary,
       // Exact by now: root-granular counts never overcount, so a
       // tripped budget or an overflowed chunk means the merged level
       // exceeds max_states -- the serial truncation condition.
+      // Whether a level's final total exceeds max_states is independent
+      // of scheduling, so this single tick is deterministic too.
+      if (metrics != nullptr) metrics->add_budget_abort();
       analysis.truncated = true;
       pool.parallel_for(num_roots, [&](std::size_t r) {
         shards[r].engine->mark_truncated();
@@ -161,6 +174,7 @@ DepthAnalysis parallel_analyze_depth(const MessageAdversary& adversary,
       total += level.states.size();
     }
     if (overflow || total > options.max_states) {
+      if (metrics != nullptr) metrics->add_budget_abort();
       analysis.truncated = true;
       pool.parallel_for(num_roots, [&](std::size_t r) {
         shards[r].engine->mark_truncated();
@@ -170,6 +184,24 @@ DepthAnalysis parallel_analyze_depth(const MessageAdversary& adversary,
     pool.parallel_for(num_roots, [&](std::size_t r) {
       shards[r].engine->commit(std::move(pending[r]));
     });
+    if (metrics != nullptr) {
+      // frontier_states is the size of the level just expanded (s - 1),
+      // total the size of the level just committed; together the two
+      // cover every level for the high-water mark.
+      metrics->note_frontier(frontier_states);
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - level_start;
+      metrics->add_level(options.depth, s, total, elapsed.count());
+      if (trace != nullptr) {
+        trace->complete(
+            "level", "level", span_start, trace->now_us() - span_start,
+            {telemetry::TraceArg::num("depth",
+                                      static_cast<std::uint64_t>(options.depth)),
+             telemetry::TraceArg::num("level", static_cast<std::uint64_t>(s)),
+             telemetry::TraceArg::num("states", total),
+             telemetry::TraceArg::num("chunks", items.size())});
+      }
+    }
   }
   const int reached = shards.empty() ? 0 : shards.front().engine->level();
   analysis.depth = reached;

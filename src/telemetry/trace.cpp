@@ -1,0 +1,106 @@
+#include "telemetry/trace.hpp"
+
+#include <string>
+
+namespace topocon::telemetry {
+
+namespace {
+
+// Local minimal JSON string escaping. The telemetry layer sits below
+// runtime/sweep, so it cannot reuse sweep::json_escape.
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_args(std::ostream& out, std::initializer_list<TraceArg> args) {
+  out << ",\"args\":{";
+  bool first = true;
+  for (const TraceArg& arg : args) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << escape(arg.key) << "\":";
+    if (arg.is_string) {
+      out << '"' << escape(arg.text) << '"';
+    } else {
+      out << arg.number;
+    }
+  }
+  out << '}';
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(std::ostream& out)
+    : out_(out), epoch_(std::chrono::steady_clock::now()) {
+  out_ << '[';
+}
+
+TraceWriter::~TraceWriter() {
+  out_ << "\n]\n";
+  out_.flush();
+}
+
+std::uint64_t TraceWriter::now_us() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+}
+
+std::uint32_t TraceWriter::tid_locked() {
+  const auto [it, inserted] = tids_.emplace(
+      std::this_thread::get_id(), static_cast<std::uint32_t>(tids_.size() + 1));
+  return it->second;
+}
+
+void TraceWriter::begin_event_locked() {
+  out_ << (first_ ? "\n" : ",\n");
+  first_ = false;
+}
+
+void TraceWriter::complete(std::string_view name, std::string_view category,
+                           std::uint64_t ts_us, std::uint64_t dur_us,
+                           std::initializer_list<TraceArg> args) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  begin_event_locked();
+  out_ << "{\"name\":\"" << escape(name) << "\",\"cat\":\"" << escape(category)
+       << "\",\"ph\":\"X\",\"ts\":" << ts_us << ",\"dur\":" << dur_us
+       << ",\"pid\":1,\"tid\":" << tid_locked();
+  if (args.size() > 0) write_args(out_, args);
+  out_ << '}';
+}
+
+void TraceWriter::counter(std::string_view name, std::uint64_t value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  begin_event_locked();
+  out_ << "{\"name\":\"" << escape(name)
+       << "\",\"cat\":\"telemetry\",\"ph\":\"C\",\"ts\":" << now_us()
+       << ",\"pid\":1,\"tid\":" << tid_locked() << ",\"args\":{\"value\":"
+       << value << "}}";
+}
+
+void TraceWriter::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out_.flush();
+}
+
+}  // namespace topocon::telemetry

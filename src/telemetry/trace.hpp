@@ -1,0 +1,85 @@
+// Chrome Trace Event Format writer (load in chrome://tracing or
+// https://ui.perfetto.dev).
+//
+// Emits a plain JSON array with one event object per line: complete
+// duration spans ("ph":"X") carrying integer-microsecond ts/dur relative
+// to the writer's construction, and counter samples ("ph":"C"). pid is
+// always 1; tid is a small integer assigned to each OS thread in
+// first-event order. The writer is fully mutex-protected — spans from the
+// work-helping pool interleave safely.
+//
+// Timestamps and event order follow the wall clock, so trace FILES are not
+// byte-deterministic; everything else about a traced run is (the golden
+// lanes pin that artifacts stay byte-identical with --trace on).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <ostream>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+
+namespace topocon::telemetry {
+
+/// One "args" entry of a trace event: an unsigned number or a string.
+struct TraceArg {
+  std::string_view key;
+  bool is_string = false;
+  std::uint64_t number = 0;
+  std::string_view text;
+
+  static TraceArg num(std::string_view key, std::uint64_t value) {
+    TraceArg arg;
+    arg.key = key;
+    arg.number = value;
+    return arg;
+  }
+  static TraceArg str(std::string_view key, std::string_view value) {
+    TraceArg arg;
+    arg.key = key;
+    arg.is_string = true;
+    arg.text = value;
+    return arg;
+  }
+};
+
+class TraceWriter {
+ public:
+  /// The stream must outlive the writer; the closing "]" is written by the
+  /// destructor.
+  explicit TraceWriter(std::ostream& out);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Microseconds elapsed since this writer's construction (steady clock,
+  /// floored — flooring both ends of a span preserves parent/child
+  /// containment).
+  std::uint64_t now_us() const;
+
+  /// A finished span [ts_us, ts_us + dur_us] on the calling thread.
+  void complete(std::string_view name, std::string_view category,
+                std::uint64_t ts_us, std::uint64_t dur_us,
+                std::initializer_list<TraceArg> args = {});
+
+  /// A counter sample at now_us() on the calling thread.
+  void counter(std::string_view name, std::uint64_t value);
+
+  void flush();
+
+ private:
+  std::uint32_t tid_locked();
+  void begin_event_locked();
+
+  std::ostream& out_;
+  std::mutex mutex_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::unordered_map<std::thread::id, std::uint32_t> tids_;
+  bool first_ = true;
+};
+
+}  // namespace topocon::telemetry

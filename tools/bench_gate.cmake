@@ -1,0 +1,71 @@
+# Bench regression gate smoke, run via `cmake -P`: one cheap benchmark
+# run must PASS the gate against the committed baseline and FAIL it
+# against an injected absurdly-tight baseline — proving the gate both
+# accepts healthy numbers and actually rejects regressions.
+#
+# Inputs (all -D):
+#   TOPOCON_CLI  path to the topocon binary
+#   BENCH_DIR    directory holding the bench binaries
+#   BASELINE     committed baseline (bench/baselines/*.json)
+#   FILTER       --benchmark_filter passed to the bench run; every
+#                baseline entry must match it (missing names fail the gate)
+#   WORK_DIR     scratch directory (recreated)
+
+foreach(var TOPOCON_CLI BENCH_DIR BASELINE FILTER WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(results "${WORK_DIR}/results.json")
+
+# 1. Capture one benchmark run.
+execute_process(
+  COMMAND ${TOPOCON_CLI} bench bench_omission
+          --bench-dir=${BENCH_DIR} --filter=${FILTER} --repetitions=1
+          --json=${results}
+  RESULT_VARIABLE code
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "bench run exited ${code}:\n${output}")
+endif()
+
+# 2. The committed baseline must pass (generous tolerances by design).
+execute_process(
+  COMMAND ${TOPOCON_CLI} bench --compare=${BASELINE} --input=${results}
+  RESULT_VARIABLE code
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR
+    "bench gate FAILED against the committed baseline ${BASELINE} "
+    "(exit ${code}):\n${output}")
+endif()
+
+# 3. An injected 1ns baseline with zero tolerance must fail: every real
+# measurement is a "regression" against it. A gate that cannot reject is
+# no gate.
+set(injected "${WORK_DIR}/injected.json")
+file(WRITE ${injected} "{
+  \"schema\": \"topocon-bench-baseline-v1\",
+  \"default_tolerance_pct\": 0,
+  \"benchmarks\": [
+    {\"name\": \"BM_CheckOmission/3/1\", \"real_time_ns\": 1}
+  ]
+}
+")
+execute_process(
+  COMMAND ${TOPOCON_CLI} bench --compare=${injected} --input=${results}
+  RESULT_VARIABLE code
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output)
+if(code EQUAL 0)
+  message(FATAL_ERROR
+    "bench gate PASSED an injected 1ns baseline — the regression check "
+    "is not rejecting:\n${output}")
+endif()
+
+message(STATUS "bench gate OK: passes ${BASELINE}, rejects injected")

@@ -7,12 +7,14 @@
 //                        [--json=PATH] [--format=table|csv]
 //                        [--n=N] [--param-min=V] [--param-max=V]
 //                        [--seed=N] [--count=N]
+//                        [--metrics] [--trace=PATH] [--telemetry-json]
 //   topocon resume PATH [--threads=N] [--chunk=N] [--frontier=MODE]
-//                       [--format=table|csv]
+//                       [--format=table|csv] [--metrics] [--trace=PATH]
 //   topocon fuzz [--seed=N] [--count=N] [--n=N] [--depth=N] [--threads=N]
-//                [--frontier=MODE]
+//                [--frontier=MODE] [--trace=PATH]
 //   topocon bench [BINARY...] [--bench-dir=PATH] [--filter=REGEX]
 //                 [--repetitions=N] [--json=PATH]
+//                 [--compare=BASELINE] [--input=RESULTS]
 //
 // `run` expands the scenario into an api::Plan (a named list of pure-data
 // api::Query values) and executes it on one api::Session. With
@@ -50,13 +52,28 @@
 // `bench` wraps the google-benchmark binaries of the build tree so the
 // perf trajectory has one operator entry point: `--filter` and
 // `--repetitions` forward to the benchmark flags, `--json` captures the
-// benchmark JSON artifact (one selected binary).
+// benchmark JSON artifact (one selected binary). `--compare=BASELINE`
+// turns the command into a regression gate: the captured results (or an
+// existing file via `--input`, which skips running anything) are checked
+// against the committed baseline (runtime/sweep/bench_compare.hpp) and a
+// regression or a missing benchmark exits 1.
 //
-// Exit codes: 0 success, 1 I/O or benchmark failure, 2 usage error,
-// 3 simulated crash (--fail-after, testing only).
+// Observability (see telemetry/metrics.hpp for the determinism
+// contract): `--metrics` prints a per-job counter table on stderr after
+// run/resume, `--trace=PATH` writes a Chrome-trace span file
+// (chrome://tracing, Perfetto) of jobs, depths, levels, and chunks, and
+// `--telemetry-json` (run only, with --json) embeds each record's
+// counters as a "telemetry" section of the document -- recorded in the
+// checkpoint meta, so a resumed run stays byte-identical to an
+// uninterrupted one. None of the three changes stdout or the artifact
+// bytes other than that opt-in section.
+//
+// Exit codes: 0 success, 1 I/O, benchmark, or bench-gate failure,
+// 2 usage error, 3 simulated crash (--fail-after, testing only).
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -72,10 +89,13 @@
 #include "api/api.hpp"
 #include "core/frontier.hpp"
 #include "core/solvability.hpp"
+#include "runtime/sweep/bench_compare.hpp"
 #include "runtime/sweep/checkpoint.hpp"
 #include "runtime/sweep/cli.hpp"
 #include "runtime/sweep/parallel_solver.hpp"
 #include "runtime/sweep/thread_pool.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "scenario/fuzz.hpp"
 #include "scenario/render.hpp"
 #include "scenario/scenario.hpp"
@@ -135,6 +155,19 @@ int usage(std::ostream& out, int code) {
          "                            (fuzz-composed; --param-max stays "
          "usable as a\n"
          "                            legacy alias)\n"
+         "  --metrics                 print a per-job telemetry counter "
+         "table on\n"
+         "                            stderr after the run (stdout stays "
+         "clean)\n"
+         "  --trace=PATH              write a Chrome-trace span file of "
+         "the run\n"
+         "                            (open in chrome://tracing or "
+         "Perfetto)\n"
+         "  --telemetry-json          (run only, with --json) embed each "
+         "record's\n"
+         "                            deterministic counters as a "
+         "\"telemetry\"\n"
+         "                            section of the document\n"
          "  --fail-after=K            (testing) crash-exit 3 after K "
          "checkpoint appends\n"
          "\n"
@@ -155,6 +188,9 @@ int usage(std::ostream& out, int code) {
          "checker\n"
          "                            leg (auto|dense|sparse, default "
          "auto)\n"
+         "  --trace=PATH              write a Chrome-trace span file of "
+         "every\n"
+         "                            checker leg\n"
          "\n"
          "bench flags:\n"
          "  --bench-dir=PATH          directory holding the bench_* "
@@ -168,7 +204,15 @@ int usage(std::ostream& out, int code) {
          "  --json=PATH               benchmark JSON artifact "
          "(--benchmark_out);\n"
          "                            requires exactly one selected "
-         "binary\n";
+         "binary\n"
+         "  --compare=BASELINE        gate the results against a "
+         "committed baseline\n"
+         "                            (bench/baselines/*.json); "
+         "regressions exit 1\n"
+         "  --input=RESULTS           compare an existing benchmark JSON "
+         "file\n"
+         "                            instead of running anything "
+         "(with --compare)\n";
   return code;
 }
 
@@ -181,6 +225,9 @@ struct RunFlags {
   std::string json_path;
   Format format = Format::kTable;
   scenario::GridOverrides overrides;
+  bool metrics = false;        // per-job counter table on stderr
+  std::string trace_path;      // Chrome-trace span file; empty = off
+  bool telemetry_json = false; // "telemetry" sections in the --json doc
   int fail_after = 0;  // 0 = disabled
 };
 
@@ -232,6 +279,16 @@ bool parse_flags(int argc, char** argv, int first, RunFlags* flags) {
         flags->overrides.seed = sweep::parse_uint64_value("seed", *v);
       } else if (const auto v = sweep::flag_value(arg, "count")) {
         flags->overrides.count = sweep::parse_int_value("count", *v);
+      } else if (arg == "--metrics") {
+        flags->metrics = true;
+      } else if (const auto v = sweep::flag_value(arg, "trace")) {
+        if (v->empty()) {
+          std::cerr << "topocon: --trace needs a non-empty path\n";
+          return false;
+        }
+        flags->trace_path = *v;
+      } else if (arg == "--telemetry-json") {
+        flags->telemetry_json = true;
       } else if (const auto v = sweep::flag_value(arg, "fail-after")) {
         flags->fail_after = sweep::parse_int_value("fail-after", *v);
       } else {
@@ -263,6 +320,7 @@ void render(std::ostream& out, const RunFlags& flags,
 
 sweep::CheckpointHeader make_header(const std::string& scenario_name,
                                     const scenario::GridOverrides& overrides,
+                                    bool telemetry_json,
                                     const std::vector<api::Query>& queries) {
   sweep::CheckpointHeader header;
   header.sweep_name = scenario_name;
@@ -284,6 +342,12 @@ sweep::CheckpointHeader make_header(const std::string& scenario_name,
   }
   if (overrides.count.has_value()) {
     header.meta.emplace_back("count", std::to_string(*overrides.count));
+  }
+  // Rides with the artifact so resume reproduces the same document shape
+  // (records with or without "telemetry" sections) without re-passing the
+  // flag.
+  if (telemetry_json) {
+    header.meta.emplace_back("telemetry_json", "1");
   }
   // The full job description rides along, so resume rebuilds the exact
   // job list from the checkpoint instead of re-expanding the catalog.
@@ -376,11 +440,40 @@ class ProgressBar {
 
   void job_started(const std::string& label) { draw(label + " starting"); }
   void chunk_done(const std::string& label, const ChunkProgress& progress) {
+    // Throughput/ETA of the current level, derived purely from the
+    // existing per-chunk events (no engine ABI change): the frontier
+    // being expanded has frontier_states states spread uniformly over
+    // chunks_total chunks, so chunks_done/chunks_total of it is behind
+    // us. Level changes reset the clock.
+    if (progress.depth != rate_depth_ || progress.level != rate_level_ ||
+        progress.chunks_done <= 1) {
+      rate_depth_ = progress.depth;
+      rate_level_ = progress.level;
+      level_start_ = std::chrono::steady_clock::now();
+    }
+    std::string rate;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      level_start_)
+            .count();
+    if (elapsed > 0 && progress.chunks_done > 0 &&
+        progress.chunks_done <= progress.chunks_total) {
+      const double done_states =
+          static_cast<double>(progress.frontier_states) *
+          static_cast<double>(progress.chunks_done) /
+          static_cast<double>(progress.chunks_total);
+      const double eta = elapsed *
+                         static_cast<double>(progress.chunks_total -
+                                             progress.chunks_done) /
+                         static_cast<double>(progress.chunks_done);
+      rate = ", " + fmt(done_states / elapsed, 0) + " st/s, ETA " +
+             fmt(eta, 1) + "s";
+    }
     draw(label + " depth " + std::to_string(progress.depth) + ": level " +
          std::to_string(progress.level) + ", chunk " +
          std::to_string(progress.chunks_done) + "/" +
          std::to_string(progress.chunks_total) + " (" +
-         std::to_string(progress.frontier_states) + " states)");
+         std::to_string(progress.frontier_states) + " states" + rate + ")");
   }
   void depth_done(const std::string& label, const DepthStats& stats) {
     draw(label + " depth " + std::to_string(stats.depth) + " done (" +
@@ -418,6 +511,9 @@ class ProgressBar {
   bool enabled_;
   std::size_t jobs_done_ = 0;
   std::size_t last_width_ = 0;
+  int rate_depth_ = -1;
+  int rate_level_ = -1;
+  std::chrono::steady_clock::time_point level_start_{};
 };
 
 /// Streams finished jobs into the checkpoint file and feeds the progress
@@ -428,12 +524,16 @@ class RunObserver : public api::Observer {
  public:
   RunObserver(sweep::CheckpointWriter* ckpt,
               const std::vector<std::size_t>& job_index, int fail_after,
-              const std::vector<api::Query>& queries, ProgressBar* progress)
+              const std::vector<api::Query>& queries, ProgressBar* progress,
+              bool telemetry_json,
+              std::vector<std::optional<telemetry::JobTelemetry>>* telemetry)
       : ckpt_(ckpt),
         job_index_(job_index),
         fail_after_(fail_after),
         queries_(queries),
-        progress_(progress) {}
+        progress_(progress),
+        telemetry_json_(telemetry_json),
+        telemetry_(telemetry) {}
 
   void on_job_start(std::size_t job, const api::Query& query) override {
     (void)job;
@@ -452,13 +552,24 @@ class RunObserver : public api::Observer {
     }
   }
 
+  void on_job_telemetry(std::size_t job,
+                        const telemetry::JobTelemetry& snapshot) override {
+    if (telemetry_ != nullptr) {
+      (*telemetry_)[job_index_[job]] = snapshot;
+    }
+  }
+
   void on_job_done(std::size_t job,
                    const sweep::JobOutcome& outcome) override {
     if (progress_ != nullptr) {
       progress_->job_done(api::label_of(queries_[job]));
     }
     if (ckpt_ == nullptr) return;
-    ckpt_->append(job_index_[job], sweep::summarize(outcome));
+    // Checkpoint lines must match the finalized document shape: a resumed
+    // --telemetry-json run reloads these records verbatim, so they carry
+    // the "telemetry" section under the same flag.
+    ckpt_->append(job_index_[job],
+                  sweep::summarize(outcome, telemetry_json_));
     if (fail_after_ > 0 && ++appended_ >= fail_after_) {
       // Simulated kill for the resume tests: no destructors, no final
       // document -- exactly what a crash mid-sweep leaves behind.
@@ -472,6 +583,9 @@ class RunObserver : public api::Observer {
   int fail_after_;
   const std::vector<api::Query>& queries_;
   ProgressBar* progress_;
+  bool telemetry_json_;
+  /// Snapshot store indexed by OVERALL job index; null = don't capture.
+  std::vector<std::optional<telemetry::JobTelemetry>>* telemetry_;
   int appended_ = 0;
 };
 
@@ -482,9 +596,13 @@ void run_jobs(api::Session& session, const std::string& name,
               const std::vector<api::Query>& queries,
               const std::vector<std::size_t>& job_index,
               sweep::CheckpointWriter* ckpt, int fail_after,
-              std::vector<std::optional<sweep::JobRecord>>* records) {
+              std::vector<std::optional<sweep::JobRecord>>* records,
+              bool telemetry_json = false,
+              std::vector<std::optional<telemetry::JobTelemetry>>*
+                  telemetry = nullptr) {
   ProgressBar progress(name, queries.size());
-  RunObserver observer(ckpt, job_index, fail_after, queries, &progress);
+  RunObserver observer(ckpt, job_index, fail_after, queries, &progress,
+                       telemetry_json, telemetry);
   session.run(name, queries, &observer);
   progress.clear();
   // The session already summarized the run into its history; reuse those
@@ -503,6 +621,55 @@ std::vector<sweep::JobRecord> unwrap(
     result.push_back(std::move(*record));
   }
   return result;
+}
+
+/// --metrics: the per-job counter table, always on stderr so stdout
+/// stays a clean report/CSV artifact. Rows cover only jobs that ran in
+/// THIS process -- on resume, jobs restored from the checkpoint have no
+/// live counters to report.
+void print_metrics_table(
+    const std::vector<api::Query>& queries,
+    const std::vector<std::optional<telemetry::JobTelemetry>>& telemetry) {
+  Table table({"job", "expanded", "dedup", "committed", "interned",
+               "chunks", "levels", "high water", "aborts", "wall s"});
+  for (std::size_t column = 1; column <= 9; ++column) {
+    table.align_right(column);
+  }
+  std::size_t rows = 0;
+  for (std::size_t j = 0; j < telemetry.size(); ++j) {
+    if (!telemetry[j].has_value()) continue;
+    const telemetry::TelemetryCounters& c = telemetry[j]->counters;
+    table.add_row({api::label_of(queries[j]),
+                   std::to_string(c.states_expanded),
+                   std::to_string(c.state_dedup_hits),
+                   std::to_string(c.states_committed),
+                   std::to_string(c.views_interned),
+                   std::to_string(c.chunks_expanded),
+                   std::to_string(c.levels_committed),
+                   std::to_string(c.frontier_high_water),
+                   std::to_string(c.budget_early_aborts),
+                   fmt(telemetry[j]->wall_seconds, 3)});
+    ++rows;
+  }
+  std::cerr << "\nTelemetry (" << rows << " job" << (rows == 1 ? "" : "s")
+            << " ran in this process):\n";
+  table.print(std::cerr);
+}
+
+/// Opens the --trace span file; null writer (and no error) when the flag
+/// is unset. The TraceWriter must be destroyed before trace_out closes
+/// (it writes the closing bracket from its destructor), so the caller
+/// keeps both alive for the whole run, stream first.
+bool open_trace(const std::string& path, std::ofstream* trace_out,
+                std::optional<telemetry::TraceWriter>* writer) {
+  if (path.empty()) return true;
+  trace_out->open(path, std::ios::trunc);
+  if (!*trace_out) {
+    std::cerr << "topocon: cannot write " << path << "\n";
+    return false;
+  }
+  writer->emplace(*trace_out);
+  return true;
 }
 
 int cmd_list() {
@@ -567,6 +734,10 @@ int cmd_run(const std::string& name, const RunFlags& flags) {
     std::cerr << "topocon: --fail-after only makes sense with --json\n";
     return 2;
   }
+  if (flags.telemetry_json && flags.json_path.empty()) {
+    std::cerr << "topocon: --telemetry-json only makes sense with --json\n";
+    return 2;
+  }
 
   if (flags.chunk > 0) {
     sweep::set_default_chunk_states(static_cast<std::size_t>(flags.chunk));
@@ -574,12 +745,23 @@ int cmd_run(const std::string& name, const RunFlags& flags) {
   if (flags.frontier.has_value()) {
     set_default_frontier_mode(*flags.frontier);
   }
-  api::Session session({.num_threads = flags.threads,
-                        .record_global = false});
+  std::ofstream trace_out;
+  std::optional<telemetry::TraceWriter> trace;
+  if (!open_trace(flags.trace_path, &trace_out, &trace)) return 1;
+  api::Session session(
+      {.num_threads = flags.threads,
+       .record_global = false,
+       .collect_telemetry = flags.metrics,
+       .telemetry_in_records = flags.telemetry_json,
+       .trace = trace.has_value() ? &*trace : nullptr});
   std::vector<std::size_t> job_index(plan.queries.size());
   for (std::size_t j = 0; j < job_index.size(); ++j) job_index[j] = j;
   std::vector<std::optional<sweep::JobRecord>> records(plan.queries.size());
+  std::vector<std::optional<telemetry::JobTelemetry>> telemetry(
+      plan.queries.size());
+  auto* snapshots = flags.metrics ? &telemetry : nullptr;
 
+  int code = 0;
   if (!flags.json_path.empty()) {
     std::ofstream ckpt_out(flags.json_path, std::ios::trunc);
     if (!ckpt_out) {
@@ -587,22 +769,30 @@ int cmd_run(const std::string& name, const RunFlags& flags) {
       return 1;
     }
     sweep::CheckpointWriter ckpt(ckpt_out);
-    ckpt.write_header(make_header(s->name, flags.overrides, plan.queries));
+    ckpt.write_header(make_header(s->name, flags.overrides,
+                                  flags.telemetry_json, plan.queries));
     run_jobs(session, plan.name, plan.queries, job_index, &ckpt,
-             flags.fail_after, &records);
+             flags.fail_after, &records, flags.telemetry_json, snapshots);
     ckpt_out.close();
     const std::vector<sweep::JobRecord> final_records =
         unwrap(std::move(records));
-    if (!finalize_json(flags.json_path, s->name, final_records)) return 1;
-    info_stream(flags) << "Wrote " << flags.json_path << "\n\n";
-    render(std::cout, flags, s->name, final_records);
-    return 0;
+    if (!finalize_json(flags.json_path, s->name, final_records)) {
+      code = 1;
+    } else {
+      info_stream(flags) << "Wrote " << flags.json_path << "\n\n";
+      render(std::cout, flags, s->name, final_records);
+    }
+  } else {
+    run_jobs(session, plan.name, plan.queries, job_index, nullptr, 0,
+             &records, false, snapshots);
+    render(std::cout, flags, s->name, unwrap(std::move(records)));
   }
-
-  run_jobs(session, plan.name, plan.queries, job_index, nullptr, 0,
-           &records);
-  render(std::cout, flags, s->name, unwrap(std::move(records)));
-  return 0;
+  if (flags.metrics) print_metrics_table(plan.queries, telemetry);
+  if (trace.has_value()) {
+    trace.reset();  // writes the closing bracket
+    std::cerr << "topocon: wrote trace " << flags.trace_path << "\n";
+  }
+  return code;
 }
 
 int cmd_resume(const std::string& path, const RunFlags& flags) {
@@ -745,16 +935,38 @@ int cmd_resume(const std::string& path, const RunFlags& flags) {
   if (flags.frontier.has_value()) {
     set_default_frontier_mode(*flags.frontier);
   }
-  api::Session session({.num_threads = flags.threads,
-                        .record_global = false});
+  // The document shape travels with the checkpoint (make_header), not the
+  // command line: a --telemetry-json run resumes with telemetry sections
+  // automatically, and stays byte-identical to an uninterrupted run.
+  const std::string* telemetry_meta = meta_value(state.header,
+                                                 "telemetry_json");
+  const bool telemetry_json =
+      telemetry_meta != nullptr && *telemetry_meta == "1";
+  std::ofstream trace_out;
+  std::optional<telemetry::TraceWriter> trace;
+  if (!open_trace(flags.trace_path, &trace_out, &trace)) return 1;
+  api::Session session(
+      {.num_threads = flags.threads,
+       .record_global = false,
+       .collect_telemetry = flags.metrics,
+       .telemetry_in_records = telemetry_json,
+       .trace = trace.has_value() ? &*trace : nullptr});
+  std::vector<std::optional<telemetry::JobTelemetry>> telemetry(
+      queries.size());
   run_jobs(session, sweep_name, pending, job_index, &ckpt, flags.fail_after,
-           &records);
+           &records, telemetry_json,
+           flags.metrics ? &telemetry : nullptr);
   ckpt_out.close();
   const std::vector<sweep::JobRecord> final_records =
       unwrap(std::move(records));
   if (!finalize_json(path, sweep_name, final_records)) return 1;
   info_stream(flags) << "Wrote " << path << "\n\n";
   render(std::cout, flags, sweep_name, final_records);
+  if (flags.metrics) print_metrics_table(queries, telemetry);
+  if (trace.has_value()) {
+    trace.reset();
+    std::cerr << "topocon: wrote trace " << flags.trace_path << "\n";
+  }
   return 0;
 }
 
@@ -762,6 +974,7 @@ struct FuzzFlags {
   scenario::FuzzSpec spec;
   int threads = 0;
   std::optional<FrontierMode> frontier;
+  std::string trace_path;
 };
 
 bool parse_fuzz_flags(int argc, char** argv, FuzzFlags* flags) {
@@ -786,6 +999,12 @@ bool parse_fuzz_flags(int argc, char** argv, FuzzFlags* flags) {
                     << *v << "'\n";
           return false;
         }
+      } else if (const auto v = sweep::flag_value(arg, "trace")) {
+        if (v->empty()) {
+          std::cerr << "topocon: --trace needs a non-empty path\n";
+          return false;
+        }
+        flags->trace_path = *v;
       } else {
         std::cerr << "topocon: unknown argument '" << arg << "'\n";
         return false;
@@ -851,6 +1070,9 @@ int cmd_fuzz(const FuzzFlags& flags) {
   const SolvabilityOptions options =
       scenario::fuzz_solve_options(flags.spec.n);
   sweep::ThreadPool pool(flags.threads);
+  std::ofstream trace_out;
+  std::optional<telemetry::TraceWriter> trace;
+  if (!open_trace(flags.trace_path, &trace_out, &trace)) return 1;
   const std::string replay =
       "topocon fuzz --seed=" + std::to_string(flags.spec.seed) +
       " --count=" + std::to_string(flags.spec.count) +
@@ -869,20 +1091,48 @@ int cmd_fuzz(const FuzzFlags& flags) {
     SolvabilityResult oracle;
     try {
       const auto adversary = make_family_adversary(point);
-      oracle = check_solvability_oracle(*adversary, options);
+      // One registry per point when tracing, so every checker leg's
+      // depth/level/chunk spans land in the trace under a named leg span.
+      std::optional<telemetry::MetricsRegistry> registry;
+      SolvabilityOptions leg_options = options;
+      if (trace.has_value()) {
+        registry.emplace(&*trace);
+        leg_options.metrics = &*registry;
+      }
+      const auto timed = [&](const char* leg, auto&& run_leg) {
+        const std::uint64_t start =
+            trace.has_value() ? trace->now_us() : 0;
+        SolvabilityResult result = run_leg();
+        if (trace.has_value()) {
+          trace->complete(label + " " + leg, "fuzz", start,
+                          trace->now_us() - start,
+                          {telemetry::TraceArg::num(
+                               "point", static_cast<std::uint64_t>(i)),
+                           telemetry::TraceArg::str("leg", leg)});
+        }
+        return result;
+      };
+      oracle = timed("oracle", [&] {
+        return check_solvability_oracle(*adversary, leg_options);
+      });
       sweep::ShardingOptions finest;
       finest.chunk_states = 1;
       const struct {
         const char* name;
         SolvabilityResult result;
       } candidates[] = {
-          {"serial FrontierEngine", check_solvability(*adversary, options)},
-          {"parallel (chunk=1)",
-           sweep::parallel_check_solvability(*adversary, options, pool, {},
-                                             finest)},
-          {"parallel (chunk=default)",
-           sweep::parallel_check_solvability(*adversary, options, pool, {},
-                                             sweep::ShardingOptions{})},
+          {"serial FrontierEngine", timed("serial", [&] {
+             return check_solvability(*adversary, leg_options);
+           })},
+          {"parallel (chunk=1)", timed("parallel-chunk1", [&] {
+             return sweep::parallel_check_solvability(
+                 *adversary, leg_options, pool, {}, finest);
+           })},
+          {"parallel (chunk=default)", timed("parallel-default", [&] {
+             return sweep::parallel_check_solvability(
+                 *adversary, leg_options, pool, {},
+                 sweep::ShardingOptions{});
+           })},
       };
       for (const auto& candidate : candidates) {
         const std::string diff =
@@ -922,6 +1172,10 @@ int cmd_fuzz(const FuzzFlags& flags) {
               << " divergence(s) between the oracle and the engines\n";
     return 1;
   }
+  if (trace.has_value()) {
+    trace.reset();
+    std::cerr << "topocon: wrote trace " << flags.trace_path << "\n";
+  }
   std::cout << "OK: oracle, serial, and parallel checkers agree on every "
                "point\n";
   return 0;
@@ -941,6 +1195,66 @@ std::string shell_quote(const std::string& text) {
   return quoted;
 }
 
+/// The bench regression gate: compares a google-benchmark JSON results
+/// file against a committed baseline and prints one verdict row per
+/// baseline benchmark. Exit 0 = within tolerance, 1 = a regression or a
+/// baseline benchmark missing from the results.
+int run_bench_gate(const std::string& baseline_path,
+                   const std::string& results_path) {
+  const auto slurp = [](const std::string& file_path,
+                        std::string* text) {
+    std::ifstream in(file_path);
+    if (!in) return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    *text = buffer.str();
+    return true;
+  };
+  std::string baseline_text;
+  std::string results_text;
+  if (!slurp(baseline_path, &baseline_text)) {
+    std::cerr << "topocon: cannot read baseline " << baseline_path << "\n";
+    return 1;
+  }
+  if (!slurp(results_path, &results_text)) {
+    std::cerr << "topocon: cannot read results " << results_path << "\n";
+    return 1;
+  }
+  sweep::BenchCompareReport report;
+  try {
+    report = sweep::compare_bench_results(
+        sweep::parse_bench_baseline(baseline_text),
+        sweep::parse_benchmark_results(results_text));
+  } catch (const std::runtime_error& error) {
+    std::cerr << "topocon: " << error.what() << "\n";
+    return 1;
+  }
+  Table table({"benchmark", "baseline", "current", "tolerance", "status"});
+  table.align_right(1);
+  table.align_right(2);
+  table.align_right(3);
+  for (const sweep::BenchComparison& row : report.rows) {
+    table.add_row(
+        {row.name, std::to_string(row.baseline_ns) + " ns",
+         row.missing ? "-"
+                     : std::to_string(
+                           static_cast<std::uint64_t>(row.current_ns)) +
+                           " ns",
+         "+" + std::to_string(row.tolerance_pct) + "%",
+         row.missing ? "MISSING" : (row.regressed ? "REGRESSED" : "ok")});
+  }
+  std::cout << "Bench gate: " << results_path << " vs " << baseline_path
+            << "\n";
+  table.print(std::cout);
+  if (!report.ok()) {
+    std::cout << "FAIL: benchmark regression against " << baseline_path
+              << "\n";
+    return 1;
+  }
+  std::cout << "OK: all benchmarks within tolerance\n";
+  return 0;
+}
+
 /// `topocon bench`: wraps the google-benchmark binaries of the build
 /// tree. Positional arguments select binaries (with or without their
 /// bench_ prefix); none selects every bench_* in the bench directory.
@@ -950,6 +1264,8 @@ int cmd_bench(int argc, char** argv, const char* argv0) {
   std::string filter;
   int repetitions = 0;
   std::string json_path;
+  std::string compare_path;
+  std::string input_path;
   std::vector<std::string> names;
   for (int i = 2; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -958,6 +1274,10 @@ int cmd_bench(int argc, char** argv, const char* argv0) {
         bench_dir = *v;
       } else if (const auto v = sweep::flag_value(arg, "filter")) {
         filter = *v;
+      } else if (const auto v = sweep::flag_value(arg, "compare")) {
+        compare_path = *v;
+      } else if (const auto v = sweep::flag_value(arg, "input")) {
+        input_path = *v;
       } else if (const auto v = sweep::flag_value(arg, "repetitions")) {
         repetitions = sweep::parse_int_value("repetitions", *v);
         if (repetitions < 1) {
@@ -980,6 +1300,22 @@ int cmd_bench(int argc, char** argv, const char* argv0) {
       std::cerr << "topocon: " << error.what() << "\n";
       return 2;
     }
+  }
+
+  if (!input_path.empty() && compare_path.empty()) {
+    std::cerr << "topocon: --input only makes sense with --compare\n";
+    return 2;
+  }
+  if (!compare_path.empty() && input_path.empty() && json_path.empty()) {
+    std::cerr << "topocon: --compare needs benchmark results: add "
+                 "--json=PATH to capture a run, or --input=PATH for an "
+                 "existing file\n";
+    return 2;
+  }
+  // Pure compare mode: gate an existing results file without running (or
+  // even having built) any benchmark binary.
+  if (!input_path.empty()) {
+    return run_bench_gate(compare_path, input_path);
   }
 
   // Default bench directory: the build tree's bench/ next to this
@@ -1058,6 +1394,9 @@ int cmd_bench(int argc, char** argv, const char* argv0) {
   if (!json_path.empty()) {
     std::cerr << "topocon bench: wrote " << json_path << "\n";
   }
+  if (!compare_path.empty()) {
+    return run_bench_gate(compare_path, json_path);
+  }
   return 0;
 }
 
@@ -1090,14 +1429,16 @@ int main(int argc, char** argv) {
     RunFlags flags;
     if (!parse_flags(argc, argv, 3, &flags)) return 2;
     if (command == "run") return cmd_run(argv[2], flags);
-    if (!flags.json_path.empty() || flags.overrides.n.has_value() ||
+    if (!flags.json_path.empty() || flags.telemetry_json ||
+        flags.overrides.n.has_value() ||
         flags.overrides.param_min.has_value() ||
         flags.overrides.param_max.has_value() ||
         flags.overrides.seed.has_value() ||
         flags.overrides.count.has_value()) {
       std::cerr << "topocon: resume takes the checkpoint PATH plus "
-                   "--threads/--chunk/--frontier/--format/--fail-after "
-                   "only\n";
+                   "--threads/--chunk/--frontier/--format/--metrics/"
+                   "--trace/--fail-after only (--telemetry-json travels "
+                   "with the checkpoint)\n";
       return 2;
     }
     return cmd_resume(argv[2], flags);
