@@ -16,7 +16,7 @@ namespace topocon {
 
 const std::vector<std::string>& known_families() {
   static const std::vector<std::string> families = {
-      "lossy_link", "omission",    "heard_of",
+      "lossy_link", "omission",    "heard_of", "heard_of_rounds",
       "windowed_lossy_link", "vssc", "finite_loss"};
   return families;
 }
@@ -37,6 +37,10 @@ std::string family_point_label(const FamilyPoint& point) {
   if (point.family == "heard_of") {
     return "n=" + std::to_string(point.n) +
            " k=" + std::to_string(point.param);
+  }
+  if (point.family == "heard_of_rounds") {
+    return "n=" + std::to_string(point.n) +
+           " p=" + std::to_string(point.param);
   }
   if (point.family == "windowed_lossy_link") {
     return "w=" + std::to_string(point.param);
@@ -105,6 +109,11 @@ FamilyParamRange family_param_range(const std::string& family, int n) {
   if (family == "heard_of") {
     if (n < 2) fail_point(family, "n must be >= 2", n);
     return {1, n, "minimal per-receiver in-degree k"};
+  }
+  if (family == "heard_of_rounds") {
+    // The alphabet enumerates all_graphs(n), tractable only to n = 4.
+    if (n < 2 || n > 4) fail_point(family, "n must be in [2, 4]", n);
+    return {1, INT_MAX, "uniform-round period p"};
   }
   if (family == "windowed_lossy_link") {
     if (n != 2) fail_point(family, "n must be 2", n);
@@ -185,6 +194,9 @@ std::unique_ptr<MessageAdversary> make_family_adversary(
   }
   if (point.family == "heard_of") {
     return make_heard_of_adversary(point.n, point.param);
+  }
+  if (point.family == "heard_of_rounds") {
+    return make_heard_of_rounds_adversary(point.n, point.param);
   }
   if (point.family == "windowed_lossy_link") {
     return make_windowed_lossy_link(point.param);

@@ -18,6 +18,7 @@ namespace topocon {
 ///   lossy_link          -- subset mask over {<-, ->, <->} (1..7); n = 2.
 ///   omission            -- per-round omission budget f.
 ///   heard_of            -- minimal per-receiver in-degree k (1..n).
+///   heard_of_rounds     -- uniform-round period p (>= 1); n in [2, 4].
 ///   windowed_lossy_link -- repetition window w (>= 1); n = 2.
 ///   vssc                -- stability window length (>= 1).
 ///   finite_loss         -- unused (0).

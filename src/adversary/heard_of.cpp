@@ -1,11 +1,69 @@
 #include "adversary/heard_of.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 
 #include "graph/enumerate.hpp"
 
 namespace topocon {
+
+namespace {
+
+/// All graphs in which every receiver misses at most one sender: per-node
+/// in-degree >= n - 1 with the mandatory self-loop counted. n^n graphs.
+std::vector<Digraph> near_uniform_graphs(int n) {
+  std::vector<Digraph> chosen;
+  for (const Digraph& g : all_graphs(n)) {
+    bool ok = true;
+    for (int q = 0; q < n; ++q) {
+      if (std::popcount(g.in_mask(q)) < n - 1) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) chosen.push_back(g);
+  }
+  return chosen;
+}
+
+}  // namespace
+
+HeardOfRoundsAdversary::HeardOfRoundsAdversary(int n, int period)
+    : MessageAdversary(n, near_uniform_graphs(n),
+                       "heard-of-rounds(n=" + std::to_string(n) +
+                           ",p=" + std::to_string(period) + ")"),
+      period_(period) {
+  assert(n >= 2 && n <= 4);
+  assert(period >= 1);
+  const Digraph complete = Digraph::complete(n);
+  const auto it = std::find(alphabet().begin(), alphabet().end(), complete);
+  assert(it != alphabet().end());
+  uniform_letter_ = static_cast<int>(it - alphabet().begin());
+}
+
+AdvState HeardOfRoundsAdversary::transition(AdvState state,
+                                            int letter) const {
+  if (letter == uniform_letter_) return 0;
+  return state + 1 >= period_ ? kRejectState : state + 1;
+}
+
+bool HeardOfRoundsAdversary::admits_lasso(
+    const std::vector<int>& stem, const std::vector<int>& cycle) const {
+  // The counter grows by |cycle| per unrolling unless the cycle resets it,
+  // so a uniform-round-free cycle eventually rejects regardless of the
+  // stem; with a uniform round in the cycle, the post-cycle state is
+  // periodic after one pass and the base two-unrolling check is exact.
+  if (std::find(cycle.begin(), cycle.end(), uniform_letter_) == cycle.end()) {
+    return false;
+  }
+  return MessageAdversary::admits_lasso(stem, cycle);
+}
+
+std::unique_ptr<HeardOfRoundsAdversary> make_heard_of_rounds_adversary(
+    int n, int period) {
+  return std::make_unique<HeardOfRoundsAdversary>(n, period);
+}
 
 std::unique_ptr<ObliviousAdversary> make_heard_of_adversary(int n,
                                                             int min_heard) {

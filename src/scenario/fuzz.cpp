@@ -22,21 +22,26 @@ int pick(std::mt19937_64& rng, int bound) {
 
 FamilyPoint gen_leaf(std::mt19937_64& rng, int n) {
   if (n == 2) {
-    switch (pick(rng, 4)) {
+    switch (pick(rng, 5)) {
       case 0: return {"lossy_link", 2, 1 + pick(rng, 7)};
       case 1: return {"omission", 2, pick(rng, 3)};
       case 2: return {"heard_of", 2, 1 + pick(rng, 2)};
+      case 3: return {"heard_of_rounds", 2, 1 + pick(rng, 3)};
       default: return {"windowed_lossy_link", 2, 1 + pick(rng, 3)};
     }
   }
-  // Larger n: stick to the two families whose alphabets stay moderate.
+  // Larger n: stick to the families whose alphabets stay moderate.
   // heard_of below k = n-1 explodes combinatorially (k = 1 at n = 3 is
-  // already all 64 graphs), so only the top of its range is drawn.
-  if (pick(rng, 2) == 0) {
-    const int max_f = std::min(2, n * (n - 1));
-    return {"omission", n, pick(rng, max_f + 1)};
+  // already all 64 graphs), so only the top of its range is drawn;
+  // heard_of_rounds has n^n letters, within the fuzz cap only at n = 3.
+  switch (pick(rng, n == 3 ? 3 : 2)) {
+    case 0: {
+      const int max_f = std::min(2, n * (n - 1));
+      return {"omission", n, pick(rng, max_f + 1)};
+    }
+    case 1: return {"heard_of", n, n - 1 + pick(rng, 2)};
+    default: return {"heard_of_rounds", n, 1 + pick(rng, 2)};
   }
-  return {"heard_of", n, n - 1 + pick(rng, 2)};
 }
 
 ComposeSpec gen_spec(std::mt19937_64& rng, int n, int depth) {

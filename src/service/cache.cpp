@@ -1,0 +1,42 @@
+#include "service/cache.hpp"
+
+namespace topocon::service {
+
+const std::string* VerdictCache::find(const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  order_.splice(order_.begin(), order_, it->second);
+  return &it->second->second;
+}
+
+void VerdictCache::insert(const std::string& key, std::string artifact) {
+  if (artifact.size() > max_bytes_ || max_entries_ == 0) return;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->second.size();
+    bytes_ += artifact.size();
+    it->second->second = std::move(artifact);
+    order_.splice(order_.begin(), order_, it->second);
+  } else {
+    bytes_ += artifact.size();
+    order_.emplace_front(key, std::move(artifact));
+    index_.emplace(key, order_.begin());
+  }
+  evict_until_fits();
+}
+
+void VerdictCache::evict_until_fits() {
+  while (index_.size() > max_entries_ || bytes_ > max_bytes_) {
+    const auto& victim = order_.back();
+    bytes_ -= victim.second.size();
+    index_.erase(victim.first);
+    order_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace topocon::service

@@ -1,0 +1,60 @@
+// VerdictCache: LRU memoization of finalized sweep artifacts for the
+// serve daemon. Keys are the canonical plan JSON (service/protocol.hpp's
+// plan_cache_key), values are the exact artifact bytes a run produced --
+// a hit replays the bytes without touching the Session, so the served
+// document stays byte-identical to the original `topocon run` output by
+// construction. Bounded by entry count AND total artifact bytes; the
+// least recently used entry is evicted first. Not thread-safe: the
+// server guards it with its own mutex (lookups happen on the I/O thread,
+// inserts on the executor thread).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace topocon::service {
+
+class VerdictCache {
+ public:
+  /// Limits: at most `max_entries` artifacts totalling at most
+  /// `max_bytes` of artifact payload. An artifact larger than max_bytes
+  /// on its own is never stored (the miss still computes and serves it).
+  VerdictCache(std::size_t max_entries, std::size_t max_bytes)
+      : max_entries_(max_entries), max_bytes_(max_bytes) {}
+
+  /// Looks up and promotes `key`; nullptr on miss. The pointer stays
+  /// valid until the next insert() (eviction) -- callers copy or send
+  /// the bytes before touching the cache again.
+  const std::string* find(const std::string& key);
+
+  /// Stores (or refreshes) `key`, evicting LRU entries until the limits
+  /// hold again.
+  void insert(const std::string& key, std::string artifact);
+
+  std::size_t entries() const { return index_.size(); }
+  std::size_t bytes() const { return bytes_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  void evict_until_fits();
+
+  std::size_t max_entries_;
+  std::size_t max_bytes_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  /// Front = most recently used.
+  std::list<std::pair<std::string, std::string>> order_;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, std::string>>::iterator>
+      index_;
+};
+
+}  // namespace topocon::service

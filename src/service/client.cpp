@@ -1,0 +1,82 @@
+#include "service/client.hpp"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace topocon::service {
+
+ServeClient::ServeClient(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("client: socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("client: socket() failed");
+  if (connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("client: cannot connect to " + socket_path +
+                             ": " + why);
+  }
+  hello_ = read_line();
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) close(fd_);
+}
+
+void ServeClient::send_line(const std::string& line) {
+  std::string frame = line;
+  if (frame.empty() || frame.back() != '\n') frame += '\n';
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    // MSG_NOSIGNAL: a dead server surfaces as an exception, not SIGPIPE.
+    const ssize_t n =
+        send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw std::runtime_error("client: write failed");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void ServeClient::fill_buffer() {
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) throw std::runtime_error("client: read failed");
+    if (n == 0) throw std::runtime_error("client: server closed connection");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+    return;
+  }
+}
+
+std::string ServeClient::read_line() {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    fill_buffer();
+  }
+}
+
+std::string ServeClient::read_bytes(std::size_t count) {
+  while (buffer_.size() < count) fill_buffer();
+  std::string bytes = buffer_.substr(0, count);
+  buffer_.erase(0, count);
+  return bytes;
+}
+
+}  // namespace topocon::service

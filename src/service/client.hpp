@@ -1,0 +1,47 @@
+// Minimal blocking client for the topocon serve protocol: line-framed
+// reads and writes over a Unix-domain socket, plus the raw-byte read
+// that follows a `result` frame. Used by `topocon client`, the serve
+// smoke tests, and CI; deliberately thin -- protocol knowledge (frame
+// shapes, the artifact_bytes contract) stays in service/protocol.hpp
+// and the callers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace topocon::service {
+
+class ServeClient {
+ public:
+  /// Connects and reads the server's hello line. Throws
+  /// std::runtime_error when the socket cannot be reached or the
+  /// greeting does not arrive.
+  explicit ServeClient(const std::string& socket_path);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// The server's greeting, verbatim (without the trailing newline).
+  const std::string& hello() const { return hello_; }
+
+  /// Sends one frame; `line` need not be newline-terminated.
+  void send_line(const std::string& line);
+
+  /// Blocks for the next frame; the newline is stripped. Throws
+  /// std::runtime_error on EOF or a read error.
+  std::string read_line();
+
+  /// Blocks for exactly `count` raw bytes (artifact payload after a
+  /// `result` frame). Throws std::runtime_error on a short read.
+  std::string read_bytes(std::size_t count);
+
+ private:
+  void fill_buffer();
+
+  int fd_ = -1;
+  std::string buffer_;
+  std::string hello_;
+};
+
+}  // namespace topocon::service

@@ -1,0 +1,131 @@
+// Preallocated bounded event ring for the serve-side progress fan-out
+// (NDN-DPDK rxloop idiom: the hot producer never waits for a slow
+// consumer). One ring per subscriber: the compute thread publishes
+// ServeEvents, the I/O loop drains them into the subscriber's socket
+// buffer.
+//
+// Semantics: single consumer; producers are externally serialized (the
+// engine fires Observer callbacks under its own mutex, one at a time,
+// possibly from different pool threads -- the mutex provides the
+// cross-thread ordering). push() never blocks and never allocates: when
+// the ring is full it overwrites the OLDEST pending event (advancing the
+// consumer cursor itself), and in the narrow window where the consumer
+// is mid-claim on that very slot it drops the new event instead of
+// spinning. Every overwritten or dropped event counts into drops(), the
+// signal behind the `subscriber_drops` serve counter -- a slow dashboard
+// loses events, never stalls a sweep.
+//
+// The implementation is a Vyukov-style bounded queue: per-slot sequence
+// numbers decide handoff, so an event's bytes are only ever read after
+// the release-store that published them (TSan-clean by construction).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace topocon::service {
+
+/// One progress event, numeric-only so ring slots are preallocated POD.
+/// `a..e` are kind-specific (see the serializer in protocol.cpp).
+struct ServeEvent {
+  enum class Kind : std::uint8_t {
+    kJobStart = 0,
+    kChunk = 1,
+    kDepth = 2,
+    kTelemetry = 3,
+    kJobDone = 4,
+  };
+  std::uint64_t submission = 0;  ///< serve-side submission id
+  std::uint32_t job = 0;         ///< job index within the submission
+  Kind kind = Kind::kJobStart;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  std::uint64_t d = 0;
+  std::uint64_t e = 0;
+};
+
+class EventRing {
+ public:
+  /// Capacity is rounded up to a power of two; >= 2.
+  explicit EventRing(std::size_t capacity) {
+    std::size_t size = 2;
+    while (size < capacity) size *= 2;
+    slots_ = std::vector<Slot>(size);
+    mask_ = size - 1;
+    for (std::size_t i = 0; i < size; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Publishes one event; never blocks. Returns false iff the event was
+  /// dropped outright (consumer mid-claim on the slot to be recycled).
+  bool push(const ServeEvent& event) {
+    const std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[pos & mask_];
+    std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (seq != pos) {
+      // Full: retire the oldest pending event ourselves so the newest
+      // data wins (rxloop style), unless the consumer is claiming it.
+      std::uint64_t head = head_.load(std::memory_order_relaxed);
+      if (pos - head >= slots_.size() &&
+          head_.compare_exchange_strong(head, head + 1,
+                                        std::memory_order_acq_rel)) {
+        slots_[head & mask_].seq.store(head + slots_.size(),
+                                       std::memory_order_release);
+        drops_.fetch_add(1, std::memory_order_relaxed);
+        seq = slot.seq.load(std::memory_order_acquire);
+      }
+      if (seq != pos) {
+        drops_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+    slot.event = event;
+    slot.seq.store(pos + 1, std::memory_order_release);
+    tail_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Takes the oldest event; false when the ring is empty.
+  bool pop(ServeEvent* out) {
+    for (;;) {
+      std::uint64_t head = head_.load(std::memory_order_relaxed);
+      Slot& slot = slots_[head & mask_];
+      const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      if (seq != head + 1) return false;  // empty (or being written)
+      // Claim before copying: the producer sees the un-freed slot and
+      // drops instead of overwriting bytes we are reading.
+      if (head_.compare_exchange_strong(head, head + 1,
+                                        std::memory_order_acq_rel)) {
+        *out = slot.event;
+        slot.seq.store(head + slots_.size(), std::memory_order_release);
+        return true;
+      }
+      // The producer retired this event under our feet; try the next.
+    }
+  }
+
+  /// Events lost to overwrites or claim races, monotonic.
+  std::uint64_t drops() const {
+    return drops_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    ServeEvent event;
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> drops_{0};
+};
+
+}  // namespace topocon::service

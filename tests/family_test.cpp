@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "adversary/family.hpp"
+#include "adversary/heard_of.hpp"
 
 namespace topocon {
 namespace {
@@ -52,6 +53,62 @@ TEST(FamilyValidation, HeardOf) {
   expect_invalid({"heard_of", 3, 4},
                  "heard_of: param must be in [1, 3] (got 4)");
   EXPECT_EQ(make_family_adversary({"heard_of", 2, 1})->num_processes(), 2);
+}
+
+TEST(FamilyValidation, HeardOfRounds) {
+  expect_invalid({"heard_of_rounds", 1, 1},
+                 "heard_of_rounds: n must be in [2, 4] (got 1)");
+  expect_invalid({"heard_of_rounds", 5, 1},
+                 "heard_of_rounds: n must be in [2, 4] (got 5)");
+  expect_invalid({"heard_of_rounds", 3, 0},
+                 "heard_of_rounds: param must be in [1, inf] (got 0)");
+  EXPECT_EQ(make_family_adversary({"heard_of_rounds", 2, 2})->num_processes(),
+            2);
+  EXPECT_EQ(family_point_label({"heard_of_rounds", 3, 4}), "n=3 p=4");
+}
+
+TEST(FamilyValidation, HeardOfRoundsAutomaton) {
+  // Alphabet: each receiver misses at most one sender -> n^n graphs.
+  const auto n2 = make_family_adversary({"heard_of_rounds", 2, 2});
+  EXPECT_EQ(n2->alphabet_size(), 4);
+  const auto n3 = make_family_adversary({"heard_of_rounds", 3, 2});
+  EXPECT_EQ(n3->alphabet_size(), 27);
+  EXPECT_TRUE(n3->is_compact());
+
+  // The uniform (complete) round resets the counter; `period` consecutive
+  // non-uniform rounds are rejected.
+  const auto* adversary =
+      dynamic_cast<const HeardOfRoundsAdversary*>(n3.get());
+  ASSERT_NE(adversary, nullptr);
+  const int uniform = adversary->uniform_letter();
+  EXPECT_EQ(adversary->graph(uniform), Digraph::complete(3));
+  const int lossy = uniform == 0 ? 1 : 0;
+  EXPECT_FALSE(adversary->safety_rejects({lossy, uniform, lossy}));
+  EXPECT_TRUE(adversary->safety_rejects({lossy, lossy}));
+  EXPECT_FALSE(adversary->safety_rejects({uniform, lossy, uniform, lossy}));
+
+  // Liveness on lassos: a cycle without the uniform round drifts the
+  // counter past any finite period, however long.
+  const auto lazy = make_family_adversary({"heard_of_rounds", 3, 100});
+  EXPECT_TRUE(lazy->admits_lasso({lossy}, {uniform, lossy}));
+  EXPECT_FALSE(lazy->admits_lasso({uniform}, {lossy}));
+
+  // period = 1 admits only the complete graph.
+  const auto strict = make_family_adversary({"heard_of_rounds", 2, 1});
+  for (int letter = 0; letter < strict->alphabet_size(); ++letter) {
+    EXPECT_EQ(strict->safety_rejects({letter}),
+              strict->graph(letter) != Digraph::complete(2));
+  }
+}
+
+TEST(FamilyValidation, HeardOfRoundsComposes) {
+  // Compact and non-oblivious: accepted by the composed-spec codec (only
+  // vssc/finite_loss are barred), including under a window combinator.
+  const std::string spec =
+      R"({"op":"product","of":[{"family":"heard_of_rounds","n":2,"param":2},{"family":"lossy_link","n":2,"param":7}]})";
+  const FamilyPoint point{"composed:" + spec, 2, 0};
+  EXPECT_EQ(family_point_label(point), spec);
+  EXPECT_EQ(make_family_adversary(point)->num_processes(), 2);
 }
 
 TEST(FamilyValidation, WindowedLossyLink) {

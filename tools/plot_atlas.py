@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Render the solvability atlas CSV as a standalone SVG.
+
+Reads the per-depth CSV that ``topocon run atlas --format=csv`` emits
+(committed as ``tests/golden/atlas.csv``) and draws one swim lane per
+family: a colored cell per grid point showing the final verdict and the
+depth the run certified or gave up at. Pure standard library, so CI can
+archive the picture without installing anything.
+
+Usage:
+    tools/plot_atlas.py [--csv tests/golden/atlas.csv] [--out atlas.svg]
+"""
+
+import argparse
+import csv
+import html
+import sys
+from collections import OrderedDict
+
+VERDICT_COLORS = {
+    "SOLVABLE": "#4caf50",
+    "NOT-SEPARATED": "#e05252",
+    "NOT-BROADCASTABLE": "#b76fc4",
+    "RESOURCE-LIMIT": "#e8a33d",
+}
+FALLBACK_COLOR = "#9e9e9e"
+
+CELL_W = 58
+CELL_H = 44
+LANE_GAP = 18
+MARGIN_LEFT = 170
+MARGIN_TOP = 64
+LEGEND_H = 40
+
+
+def load_points(path):
+    """Collapses the per-depth rows onto one final row per (job, label)."""
+    points = OrderedDict()
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            key = (row["sweep"], row["job"])
+            # Rows arrive depth-ascending; the last one carries the verdict.
+            points[key] = row
+    if not points:
+        raise SystemExit(f"plot_atlas: no rows in {path}")
+    return list(points.values())
+
+
+def group_by_family(points):
+    lanes = OrderedDict()
+    for row in points:
+        lanes.setdefault(row["family"], []).append(row)
+    return lanes
+
+
+def cell_caption(row):
+    if row["verdict"] == "SOLVABLE" and row["certified_depth"]:
+        return f"d={row['certified_depth']}"
+    return f"d≤{row['depth']}"
+
+
+def render_svg(lanes, title):
+    width = MARGIN_LEFT + CELL_W * max(len(rows) for rows in lanes.values()) + 24
+    height = (
+        MARGIN_TOP
+        + sum(CELL_H + LANE_GAP for _ in lanes)
+        + LEGEND_H
+    )
+    out = []
+    out.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">'
+    )
+    out.append(f'<rect width="{width}" height="{height}" fill="#ffffff"/>')
+    out.append(
+        f'<text x="{MARGIN_LEFT}" y="24" font-size="15" font-weight="bold">'
+        f"{html.escape(title)}</text>"
+    )
+    out.append(
+        f'<text x="{MARGIN_LEFT}" y="42" fill="#555555">one cell per grid '
+        "point; d = certified depth (SOLVABLE) or deepest level tried</text>"
+    )
+
+    y = MARGIN_TOP
+    for family, rows in lanes.items():
+        out.append(
+            f'<text x="12" y="{y + CELL_H / 2 + 4}" font-weight="bold">'
+            f"{html.escape(family)}</text>"
+        )
+        for index, row in enumerate(rows):
+            x = MARGIN_LEFT + index * CELL_W
+            color = VERDICT_COLORS.get(row["verdict"], FALLBACK_COLOR)
+            out.append(
+                f'<rect x="{x}" y="{y}" width="{CELL_W - 4}" '
+                f'height="{CELL_H - 4}" rx="4" fill="{color}" '
+                'stroke="#333333" stroke-width="0.6">'
+                f"<title>{html.escape(row['label'])} (n={row['n']}): "
+                f"{html.escape(row['verdict'])}</title></rect>"
+            )
+            label = row["label"] if len(row["label"]) <= 8 else row["label"][:7] + "…"
+            out.append(
+                f'<text x="{x + (CELL_W - 4) / 2}" y="{y + 17}" '
+                'text-anchor="middle" fill="#ffffff">'
+                f"{html.escape(label)}</text>"
+            )
+            out.append(
+                f'<text x="{x + (CELL_W - 4) / 2}" y="{y + 33}" '
+                'text-anchor="middle" fill="#ffffff">'
+                f"{html.escape(cell_caption(row))}</text>"
+            )
+        y += CELL_H + LANE_GAP
+
+    x = MARGIN_LEFT
+    for verdict, color in VERDICT_COLORS.items():
+        out.append(
+            f'<rect x="{x}" y="{y + 6}" width="14" height="14" rx="3" '
+            f'fill="{color}"/>'
+        )
+        out.append(f'<text x="{x + 20}" y="{y + 17}">{verdict}</text>')
+        x += 24 + 9 * len(verdict)
+    out.append("</svg>")
+    return "\n".join(out) + "\n"
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--csv", default="tests/golden/atlas.csv")
+    parser.add_argument("--out", default="atlas.svg")
+    parser.add_argument("--title", default="topocon solvability atlas")
+    args = parser.parse_args(argv)
+
+    lanes = group_by_family(load_points(args.csv))
+    svg = render_svg(lanes, args.title)
+    with open(args.out, "w") as handle:
+        handle.write(svg)
+    total = sum(len(rows) for rows in lanes.values())
+    print(f"plot_atlas: {total} grid points across {len(lanes)} families "
+          f"-> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,137 @@
+# Daemon-level smoke test for `topocon serve` / `topocon client`.
+#
+# Starts the daemon on a private Unix socket, submits SCENARIO over the
+# wire, byte-compares the served artifact against GOLDEN, re-submits to
+# prove the repeat is answered from the verdict cache (via the `stats`
+# frame), and shuts the daemon down cleanly.
+#
+# Usage:
+#   cmake -DTOPOCON_CLI=... -DSCENARIO=... -DGOLDEN=... -DWORK_DIR=...
+#         -P serve_smoke.cmake
+
+foreach(var TOPOCON_CLI SCENARIO GOLDEN WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "serve_smoke: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+# sun_path is capped at 108 bytes and build trees nest deep, so the
+# socket lives under /tmp, keyed by this script's process id.
+string(RANDOM LENGTH 8 ALPHABET 0123456789abcdef tag)
+set(socket "/tmp/topocon-smoke-${tag}.sock")
+
+function(stop_daemon)
+  execute_process(
+    COMMAND "${TOPOCON_CLI}" client --socket=${socket} shutdown
+    TIMEOUT 30
+    OUTPUT_QUIET ERROR_QUIET)
+endfunction()
+
+# Background the daemon through sh: execute_process itself always waits,
+# and the redirects keep it from blocking on the daemon's pipes.
+execute_process(
+  COMMAND sh -c "'${TOPOCON_CLI}' serve --socket='${socket}' \
+    > '${WORK_DIR}/serve.log' 2>&1 & echo $! > '${WORK_DIR}/serve.pid'"
+  RESULT_VARIABLE launch_status)
+if(NOT launch_status EQUAL 0)
+  message(FATAL_ERROR "serve_smoke: failed to launch the daemon")
+endif()
+
+# Wait for the listener (the daemon creates the socket before serving).
+set(ready FALSE)
+foreach(attempt RANGE 100)
+  if(EXISTS "${socket}")
+    set(ready TRUE)
+    break()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.2)
+endforeach()
+if(NOT ready)
+  message(FATAL_ERROR "serve_smoke: daemon never created ${socket}")
+endif()
+
+# First submission: computed, and byte-identical to the `topocon run`
+# golden artifact.
+execute_process(
+  COMMAND "${TOPOCON_CLI}" client --socket=${socket}
+    --out=${WORK_DIR}/first.json submit ${SCENARIO}
+  TIMEOUT 300
+  RESULT_VARIABLE submit_status
+  ERROR_VARIABLE submit_stderr)
+if(NOT submit_status EQUAL 0)
+  stop_daemon()
+  message(FATAL_ERROR "serve_smoke: first submit failed:\n${submit_stderr}")
+endif()
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+    "${WORK_DIR}/first.json" "${GOLDEN}"
+  RESULT_VARIABLE first_diff)
+if(NOT first_diff EQUAL 0)
+  stop_daemon()
+  message(FATAL_ERROR
+    "serve_smoke: served artifact differs from golden ${GOLDEN}")
+endif()
+
+# Second submission: must be served from the cache, byte-identically.
+execute_process(
+  COMMAND "${TOPOCON_CLI}" client --socket=${socket}
+    --out=${WORK_DIR}/second.json submit ${SCENARIO}
+  TIMEOUT 300
+  RESULT_VARIABLE resubmit_status
+  ERROR_VARIABLE resubmit_stderr)
+if(NOT resubmit_status EQUAL 0)
+  stop_daemon()
+  message(FATAL_ERROR "serve_smoke: re-submit failed:\n${resubmit_stderr}")
+endif()
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+    "${WORK_DIR}/second.json" "${WORK_DIR}/first.json"
+  RESULT_VARIABLE second_diff)
+if(NOT second_diff EQUAL 0)
+  stop_daemon()
+  message(FATAL_ERROR "serve_smoke: cached artifact differs from computed")
+endif()
+
+# The counters prove the repeat skipped the engine: one executed sweep,
+# one cache hit.
+execute_process(
+  COMMAND "${TOPOCON_CLI}" client --socket=${socket} stats
+  TIMEOUT 30
+  RESULT_VARIABLE stats_status
+  OUTPUT_VARIABLE stats_frame)
+if(NOT stats_status EQUAL 0)
+  stop_daemon()
+  message(FATAL_ERROR "serve_smoke: stats request failed")
+endif()
+if(NOT stats_frame MATCHES "\"cache_hits\": *1[,}]")
+  stop_daemon()
+  message(FATAL_ERROR "serve_smoke: expected one cache hit in:\n${stats_frame}")
+endif()
+if(NOT stats_frame MATCHES "\"jobs_completed\": *1[,}]")
+  stop_daemon()
+  message(FATAL_ERROR
+    "serve_smoke: expected exactly one executed sweep in:\n${stats_frame}")
+endif()
+
+# Clean shutdown: the client sees `bye` (exit 0) and the daemon removes
+# its socket on the way out.
+execute_process(
+  COMMAND "${TOPOCON_CLI}" client --socket=${socket} shutdown
+  TIMEOUT 60
+  RESULT_VARIABLE bye_status)
+if(NOT bye_status EQUAL 0)
+  message(FATAL_ERROR "serve_smoke: shutdown did not answer with bye")
+endif()
+foreach(attempt RANGE 100)
+  if(NOT EXISTS "${socket}")
+    break()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.2)
+endforeach()
+if(EXISTS "${socket}")
+  message(FATAL_ERROR "serve_smoke: daemon left ${socket} behind")
+endif()
+
+message(STATUS "serve_smoke: OK (artifact golden-identical, repeat cached)")

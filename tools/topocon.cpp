@@ -73,7 +73,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -99,6 +101,9 @@
 #include "scenario/fuzz.hpp"
 #include "scenario/render.hpp"
 #include "scenario/scenario.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
 
 namespace {
 
@@ -116,6 +121,12 @@ int usage(std::ostream& out, int code) {
          "  fuzz [FLAGS]              differential-test seeded composed "
          "adversaries\n"
          "  bench [BINARY...] [FLAGS] run the google-benchmark binaries\n"
+         "  serve [FLAGS]             long-running sweep daemon on a Unix "
+         "socket\n"
+         "  client [FLAGS] ACTION     drive a running daemon "
+         "(submit/stats/shutdown)\n"
+         "  version | --version       protocol and artifact schema "
+         "versions\n"
          "\n"
          "run/resume flags:\n"
          "  --threads=N               engine threads (default: hardware "
@@ -212,7 +223,36 @@ int usage(std::ostream& out, int code) {
          "  --input=RESULTS           compare an existing benchmark JSON "
          "file\n"
          "                            instead of running anything "
-         "(with --compare)\n";
+         "(with --compare)\n"
+         "\n"
+         "serve flags:\n"
+         "  --socket=PATH             Unix-domain socket to listen on "
+         "(required;\n"
+         "                            a stale file at PATH is replaced)\n"
+         "  --threads=N               session pool size (default: hardware "
+         "concurrency)\n"
+         "  --queue-limit=N           queued submissions beyond the one "
+         "running sweep\n"
+         "                            before `overloaded` (default 16)\n"
+         "  --cache-entries=N         verdict cache artifact count limit "
+         "(default 64)\n"
+         "  --cache-mb=N              verdict cache byte limit in MiB "
+         "(default 64)\n"
+         "  --ring=N                  event-ring capacity per subscriber "
+         "(default 1024)\n"
+         "  --quiet                   no status lines on stderr\n"
+         "\n"
+         "client actions (all need --socket=PATH):\n"
+         "  submit SCENARIO [--n= --param-min= --param-max= --seed= "
+         "--count=]\n"
+         "         [--out=PATH] [--subscribe]\n"
+         "                            submit a scenario, wait for the "
+         "artifact, and\n"
+         "                            write it to --out (default stdout); "
+         "--subscribe\n"
+         "                            streams progress events to stderr\n"
+         "  stats                     print the daemon's counter frame\n"
+         "  shutdown                  ask the daemon to exit cleanly\n";
   return code;
 }
 
@@ -1234,13 +1274,20 @@ int run_bench_gate(const std::string& baseline_path,
   table.align_right(2);
   table.align_right(3);
   for (const sweep::BenchComparison& row : report.rows) {
+    // Built with += appends: GCC 12's -Wrestrict misfires on chained
+    // std::string operator+ here at -O2.
+    std::string baseline = std::to_string(row.baseline_ns);
+    baseline += " ns";
+    std::string current = "-";
+    if (!row.missing) {
+      current = std::to_string(static_cast<std::uint64_t>(row.current_ns));
+      current += " ns";
+    }
+    std::string tolerance = "+";
+    tolerance += std::to_string(row.tolerance_pct);
+    tolerance += "%";
     table.add_row(
-        {row.name, std::to_string(row.baseline_ns) + " ns",
-         row.missing ? "-"
-                     : std::to_string(
-                           static_cast<std::uint64_t>(row.current_ns)) +
-                           " ns",
-         "+" + std::to_string(row.tolerance_pct) + "%",
+        {row.name, baseline, current, tolerance,
          row.missing ? "MISSING" : (row.regressed ? "REGRESSED" : "ok")});
   }
   std::cout << "Bench gate: " << results_path << " vs " << baseline_path
@@ -1400,6 +1447,201 @@ int cmd_bench(int argc, char** argv, const char* argv0) {
   return 0;
 }
 
+/// The serve daemon being signalled, for SIGINT/SIGTERM-driven clean
+/// shutdown (request_stop is one pipe write, so it is signal-safe).
+std::atomic<service::Server*> g_serve_instance{nullptr};
+
+void serve_signal_handler(int) {
+  if (service::Server* server = g_serve_instance.load()) {
+    server->request_stop();
+  }
+}
+
+int cmd_serve(int argc, char** argv) {
+  service::ServeOptions options;
+  bool quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    try {
+      if (const auto v = sweep::flag_value(arg, "socket")) {
+        options.socket_path = *v;
+      } else if (const auto v = sweep::flag_value(arg, "threads")) {
+        options.num_threads = sweep::parse_int_value("threads", *v);
+      } else if (const auto v = sweep::flag_value(arg, "queue-limit")) {
+        const int limit = sweep::parse_int_value("queue-limit", *v);
+        if (limit < 0) {
+          std::cerr << "topocon: --queue-limit must be >= 0\n";
+          return 2;
+        }
+        options.queue_limit = static_cast<std::size_t>(limit);
+      } else if (const auto v = sweep::flag_value(arg, "cache-entries")) {
+        const int entries = sweep::parse_int_value("cache-entries", *v);
+        if (entries < 0) {
+          std::cerr << "topocon: --cache-entries must be >= 0\n";
+          return 2;
+        }
+        options.cache_entries = static_cast<std::size_t>(entries);
+      } else if (const auto v = sweep::flag_value(arg, "cache-mb")) {
+        const int mb = sweep::parse_int_value("cache-mb", *v);
+        if (mb < 0) {
+          std::cerr << "topocon: --cache-mb must be >= 0\n";
+          return 2;
+        }
+        options.cache_bytes = static_cast<std::size_t>(mb) << 20;
+      } else if (const auto v = sweep::flag_value(arg, "ring")) {
+        const int ring = sweep::parse_int_value("ring", *v);
+        if (ring < 2) {
+          std::cerr << "topocon: --ring must be >= 2\n";
+          return 2;
+        }
+        options.ring_capacity = static_cast<std::size_t>(ring);
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else {
+        std::cerr << "topocon: unknown serve argument '" << arg << "'\n";
+        return 2;
+      }
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "topocon: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  if (options.socket_path.empty()) {
+    std::cerr << "topocon: serve needs --socket=PATH\n";
+    return 2;
+  }
+  options.log = quiet ? nullptr : &std::cerr;
+  if (!quiet) std::cerr << service::version_line() << "\n";
+  service::Server server(std::move(options));
+  g_serve_instance.store(&server);
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  const int code = server.run();
+  g_serve_instance.store(nullptr);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  return code;
+}
+
+int cmd_client(int argc, char** argv) {
+  std::string socket_path;
+  std::string out_path;
+  bool subscribe = false;
+  scenario::GridOverrides overrides;
+  std::vector<std::string_view> positional;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    try {
+      if (const auto v = sweep::flag_value(arg, "socket")) {
+        socket_path = *v;
+      } else if (const auto v = sweep::flag_value(arg, "out")) {
+        out_path = *v;
+      } else if (arg == "--subscribe") {
+        subscribe = true;
+      } else if (const auto v = sweep::flag_value(arg, "n")) {
+        overrides.n = sweep::parse_int_value("n", *v);
+      } else if (const auto v = sweep::flag_value(arg, "param-min")) {
+        overrides.param_min = sweep::parse_int_value("param-min", *v);
+      } else if (const auto v = sweep::flag_value(arg, "param-max")) {
+        overrides.param_max = sweep::parse_int_value("param-max", *v);
+      } else if (const auto v = sweep::flag_value(arg, "seed")) {
+        overrides.seed = sweep::parse_uint64_value("seed", *v);
+      } else if (const auto v = sweep::flag_value(arg, "count")) {
+        overrides.count = sweep::parse_int_value("count", *v);
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::cerr << "topocon: unknown client argument '" << arg << "'\n";
+        return 2;
+      } else {
+        positional.push_back(arg);
+      }
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "topocon: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    std::cerr << "topocon: client needs --socket=PATH\n";
+    return 2;
+  }
+  if (positional.empty()) {
+    std::cerr << "topocon: client needs an action "
+                 "(submit/stats/shutdown)\n";
+    return 2;
+  }
+  const std::string_view action = positional[0];
+  try {
+    service::ServeClient client(socket_path);
+    std::cerr << client.hello() << "\n";
+    if (action == "stats") {
+      if (positional.size() != 1) return usage(std::cerr, 2);
+      client.send_line("{\"op\":\"stats\"}");
+      std::cout << client.read_line() << "\n";
+      return 0;
+    }
+    if (action == "shutdown") {
+      if (positional.size() != 1) return usage(std::cerr, 2);
+      client.send_line("{\"op\":\"shutdown\"}");
+      const std::string reply = client.read_line();
+      std::cout << reply << "\n";
+      return sweep::JsonReader::parse(reply).at("op").as_string() == "bye"
+                 ? 0
+                 : 1;
+    }
+    if (action != "submit" || positional.size() != 2) {
+      std::cerr << "topocon: client action must be `submit SCENARIO`, "
+                   "`stats`, or `shutdown`\n";
+      return 2;
+    }
+    std::ostringstream request;
+    sweep::JsonWriter writer(request, sweep::JsonStyle::kCompact);
+    writer.begin_object();
+    writer.member("op", "submit");
+    writer.member("scenario", positional[1]);
+    if (overrides.n.has_value()) writer.member("n", *overrides.n);
+    if (overrides.param_min.has_value()) {
+      writer.member("param_min", *overrides.param_min);
+    }
+    if (overrides.param_max.has_value()) {
+      writer.member("param_max", *overrides.param_max);
+    }
+    if (overrides.seed.has_value()) writer.member("seed", *overrides.seed);
+    if (overrides.count.has_value()) writer.member("count", *overrides.count);
+    writer.end_object();
+    if (subscribe) {
+      client.send_line("{\"op\":\"subscribe\"}");
+      std::cerr << client.read_line() << "\n";
+    }
+    client.send_line(request.str());
+    for (;;) {
+      const std::string line = client.read_line();
+      const sweep::JsonValue frame = sweep::JsonReader::parse(line);
+      const std::string& op = frame.at("op").as_string();
+      if (op == "accepted" || op == "event") {
+        std::cerr << line << "\n";
+        continue;
+      }
+      if (op == "result") {
+        const std::string artifact = client.read_bytes(
+            static_cast<std::size_t>(frame.at("artifact_bytes").as_uint()));
+        std::cerr << line << "\n";
+        if (out_path.empty()) {
+          std::cout << artifact;
+        } else if (!atomic_write(out_path,
+                                 [&](std::ostream& out) { out << artifact; })) {
+          return 1;
+        }
+        return 0;
+      }
+      // overloaded, error, or anything unexpected: surface and fail.
+      std::cerr << "topocon client: " << line << "\n";
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "topocon client: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1408,6 +1650,12 @@ int main(int argc, char** argv) {
   if (command == "help" || command == "--help" || command == "-h") {
     return usage(std::cout, 0);
   }
+  if (command == "version" || command == "--version") {
+    std::cout << service::version_line() << "\n";
+    return 0;
+  }
+  if (command == "serve") return cmd_serve(argc, argv);
+  if (command == "client") return cmd_client(argc, argv);
   if (command == "list") {
     if (argc != 2) return usage(std::cerr, 2);
     return cmd_list();
