@@ -12,11 +12,30 @@
 #pragma once
 
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
 #include <iostream>
 
 #include "api/api.hpp"
 #include "runtime/sweep/cli.hpp"
+
+namespace topocon {
+
+/// Process-lifetime peak resident set in bytes (getrusage ru_maxrss is
+/// KiB on Linux); 0 when unavailable. Attached to benchmark rows as the
+/// "peak_rss_bytes" counter so the bench regression gate
+/// (runtime/sweep/bench_compare.hpp) can catch memory regressions, not
+/// just time ones. Lifetime-max semantics mean the counter is only
+/// meaningful under a --filter that isolates the benchmark -- exactly
+/// how the gate lane runs (tools/bench_gate.cmake).
+inline void set_peak_rss_counter(benchmark::State& state) {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return;
+  state.counters["peak_rss_bytes"] =
+      benchmark::Counter(static_cast<double>(usage.ru_maxrss) * 1024.0);
+}
+
+}  // namespace topocon
 
 #define TOPOCON_BENCH_MAIN(print_report)                                 \
   int main(int argc, char** argv) {                                      \

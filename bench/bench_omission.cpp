@@ -113,6 +113,7 @@ void BM_CheckOmission(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(check_solvability(*ma, options));
   }
+  set_peak_rss_counter(state);
 }
 BENCHMARK(BM_CheckOmission)->Args({2, 0})->Args({2, 1})->Args({3, 1})->Args({3, 2});
 
@@ -131,6 +132,7 @@ void BM_ParallelCheckOmission(benchmark::State& state) {
     benchmark::DoNotOptimize(
         sweep::parallel_check_solvability(*ma, options, pool));
   }
+  set_peak_rss_counter(state);
 }
 BENCHMARK(BM_ParallelCheckOmission)->Args({3, 1})->Args({3, 2});
 
@@ -154,6 +156,7 @@ void BM_ChunkedCheckOmission(benchmark::State& state) {
     benchmark::DoNotOptimize(
         sweep::parallel_check_solvability(*ma, options, pool, {}, sharding));
   }
+  set_peak_rss_counter(state);
 }
 BENCHMARK(BM_ChunkedCheckOmission)
     ->Args({3, 2, 64})

@@ -8,6 +8,7 @@
 #include "adversary/finite_loss.hpp"
 #include "adversary/heard_of.hpp"
 #include "adversary/lossy_link.hpp"
+#include "adversary/mobile_failure.hpp"
 #include "adversary/omission.hpp"
 #include "adversary/vssc.hpp"
 #include "adversary/windowed.hpp"
@@ -17,7 +18,7 @@ namespace topocon {
 const std::vector<std::string>& known_families() {
   static const std::vector<std::string> families = {
       "lossy_link", "omission",    "heard_of", "heard_of_rounds",
-      "windowed_lossy_link", "vssc", "finite_loss"};
+      "mobile_failure", "windowed_lossy_link", "vssc", "finite_loss"};
   return families;
 }
 
@@ -41,6 +42,10 @@ std::string family_point_label(const FamilyPoint& point) {
   if (point.family == "heard_of_rounds") {
     return "n=" + std::to_string(point.n) +
            " p=" + std::to_string(point.param);
+  }
+  if (point.family == "mobile_failure") {
+    return "n=" + std::to_string(point.n) +
+           " r=" + std::to_string(point.param);
   }
   if (point.family == "windowed_lossy_link") {
     return "w=" + std::to_string(point.param);
@@ -114,6 +119,13 @@ FamilyParamRange family_param_range(const std::string& family, int n) {
     // The alphabet enumerates all_graphs(n), tractable only to n = 4.
     if (n < 2 || n > 4) fail_point(family, "n must be in [2, 4]", n);
     return {1, INT_MAX, "uniform-round period p"};
+  }
+  if (family == "mobile_failure") {
+    // The alphabet has 1 + n * (2^(n-1) - 1) graphs, tractable to n = 6;
+    // the automaton encodes (sender, streak) as 1 + sender * r + len - 1,
+    // so r is capped where the encoding would leave AdvState.
+    if (n < 2 || n > 6) fail_point(family, "n must be in [2, 6]", n);
+    return {1, (INT_MAX - 1) / n, "max consecutive faulty rounds r"};
   }
   if (family == "windowed_lossy_link") {
     if (n != 2) fail_point(family, "n must be 2", n);
@@ -197,6 +209,9 @@ std::unique_ptr<MessageAdversary> make_family_adversary(
   }
   if (point.family == "heard_of_rounds") {
     return make_heard_of_rounds_adversary(point.n, point.param);
+  }
+  if (point.family == "mobile_failure") {
+    return make_mobile_failure_adversary(point.n, point.param);
   }
   if (point.family == "windowed_lossy_link") {
     return make_windowed_lossy_link(point.param);

@@ -19,6 +19,9 @@ namespace topocon {
 ///   omission            -- per-round omission budget f.
 ///   heard_of            -- minimal per-receiver in-degree k (1..n).
 ///   heard_of_rounds     -- uniform-round period p (>= 1); n in [2, 4].
+///   mobile_failure      -- max consecutive faulty rounds r (>= 1) of the
+///                          single per-round mobile faulty sender; n in
+///                          [2, 6].
 ///   windowed_lossy_link -- repetition window w (>= 1); n = 2.
 ///   vssc                -- stability window length (>= 1).
 ///   finite_loss         -- unused (0).

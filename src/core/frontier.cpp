@@ -7,6 +7,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "core/spill.hpp"
 #include "ptg/reach.hpp"
 #include "telemetry/trace.hpp"
 
@@ -129,6 +130,21 @@ const char* to_string(FrontierMode mode) {
   return "?";
 }
 
+std::uint64_t PendingFrontier::approx_bytes() const {
+  std::uint64_t bytes = states.size() * sizeof(PendingState);
+  if (!states.empty()) {
+    // Per-state heap payload (inputs + reach); uniform across states.
+    bytes += states.size() *
+             (states.front().inputs.size() * sizeof(Value) +
+              states.front().reach.size() * sizeof(NodeMask));
+  }
+  bytes += views.approx_bytes() + state_index.approx_bytes();
+  for (const std::vector<int>& kids : children) {
+    bytes += sizeof(kids) + kids.size() * sizeof(int);
+  }
+  return bytes;
+}
+
 int WordSeqIndex::intern(const std::uint32_t* words, std::size_t count,
                          bool* inserted) {
   assert(!appended_ && "intern() on a table frozen by append_new()");
@@ -245,6 +261,44 @@ FrontierEngine::FrontierEngine(const MessageAdversary& adversary,
     first_parent_.push_back(
         std::vector<std::pair<int, int>>(frontier_.size(), {-1, -1}));
   }
+}
+
+KeyCodec FrontierEngine::level_codec() const {
+  KeyCodec c;
+  const int n = adversary_->num_processes();
+  c.n = n;
+  c.q_bits = n > 1 ? static_cast<std::uint32_t>(std::bit_width(
+                         static_cast<std::uint32_t>(n - 1)))
+                   : 0;
+  c.mask_bits = static_cast<std::uint32_t>(n);
+  // Senders are the PARENT level's interned view ids, all assigned by
+  // earlier commits, so the current interner size bounds them.
+  const std::uint64_t senders = interner_->size();
+  c.sender_bits =
+      senders > 1 ? std::min<std::uint32_t>(
+                        32, static_cast<std::uint32_t>(
+                                std::bit_width(senders - 1)))
+                  : 0;
+  const AdvState bound = adversary_->state_bound();
+  c.adv_bits =
+      bound <= 0 ? 32
+      : bound > 1 ? static_cast<std::uint32_t>(std::bit_width(
+                        static_cast<std::uint32_t>(bound - 1)))
+                  : 0;
+  // Every chunk contributes at most one distinct view per (parent, pair)
+  // so frontier * pairs bounds chunk-local AND merged view-table
+  // indices: one width makes chunk and merged state keys interoperable.
+  const std::uint64_t index_bound =
+      sat_mul(frontier_.size(), shape_.pairs.size());
+  c.index_bits =
+      index_bound > 1 ? std::min<std::uint32_t>(
+                            32, static_cast<std::uint32_t>(
+                                    std::bit_width(index_bound - 1)))
+                      : 0;
+  c.state_words = (c.adv_bits + static_cast<std::uint32_t>(n) * c.index_bits +
+                   31) /
+                  32;
+  return c;
 }
 
 std::vector<FrontierChunk> FrontierEngine::partition(
@@ -432,9 +486,49 @@ PendingFrontier FrontierEngine::expand(const FrontierChunk& chunk,
   std::vector<std::uint32_t> memo_epoch(num_pairs, 0);
 
   // Scratch keys, reused across emissions: no per-emission allocation.
+  // Keys are KeyCodec-packed (see frontier.hpp); the per-process view
+  // indices additionally stay unpacked in view_idx for the dense-state
+  // address computation.
+  const KeyCodec codec = level_codec();
   std::vector<std::uint32_t> view_key;
   view_key.reserve(static_cast<std::size_t>(n) + 2);
-  std::vector<std::uint32_t> state_key(static_cast<std::size_t>(n) + 1);
+  std::vector<std::uint32_t> state_key(codec.state_words);
+  std::vector<std::uint32_t> view_idx(static_cast<std::size_t>(n), 0);
+  const auto pack_view_key = [&](std::uint32_t recv, NodeMask in_mask,
+                                 const PrefixState& par) {
+    const auto senders =
+        static_cast<std::uint32_t>(std::popcount(in_mask));
+    const std::size_t bits =
+        codec.q_bits + codec.mask_bits +
+        static_cast<std::size_t>(senders) * codec.sender_bits;
+    view_key.assign((bits + 31) / 32, 0);
+    std::size_t pos = 0;
+    put_bits(view_key.data(), pos, recv, codec.q_bits);
+    pos += codec.q_bits;
+    put_bits(view_key.data(), pos, in_mask, codec.mask_bits);
+    pos += codec.mask_bits;
+    NodeMask rest = in_mask;
+    while (rest != 0) {
+      const int p = std::countr_zero(rest);
+      rest &= rest - 1;
+      put_bits(view_key.data(), pos,
+               static_cast<std::uint32_t>(
+                   par.views[static_cast<std::size_t>(p)]),
+               codec.sender_bits);
+      pos += codec.sender_bits;
+    }
+  };
+  const auto pack_state_key = [&](AdvState adv) {
+    std::fill(state_key.begin(), state_key.end(), 0u);
+    put_bits(state_key.data(), 0, static_cast<std::uint32_t>(adv),
+             codec.adv_bits);
+    for (int q = 0; q < n; ++q) {
+      put_bits(state_key.data(),
+               codec.adv_bits +
+                   static_cast<std::size_t>(q) * codec.index_bits,
+               view_idx[static_cast<std::size_t>(q)], codec.index_bits);
+    }
+  };
 
   std::size_t reported = 0;
   for (std::size_t i = chunk.begin; i < chunk.end && !out.overflow; ++i) {
@@ -496,31 +590,13 @@ PendingFrontier FrontierEngine::expand(const FrontierChunk& chunk,
                 static_cast<std::size_t>(pair_base[pair] + local);
             view_index = dense_view_slot[addr];
             if (view_index < 0) {
-              view_key.clear();
-              view_key.push_back(static_cast<std::uint32_t>(q));
-              view_key.push_back(mask);
-              rest = mask;
-              while (rest != 0) {
-                const int p = std::countr_zero(rest);
-                rest &= rest - 1;
-                view_key.push_back(static_cast<std::uint32_t>(
-                    parent.views[static_cast<std::size_t>(p)]));
-              }
+              pack_view_key(static_cast<std::uint32_t>(q), mask, parent);
               view_index =
                   out.views.append_new(view_key.data(), view_key.size());
               dense_view_slot[addr] = view_index;
             }
           } else {
-            view_key.clear();
-            view_key.push_back(static_cast<std::uint32_t>(q));
-            view_key.push_back(mask);
-            NodeMask rest = mask;
-            while (rest != 0) {
-              const int p = std::countr_zero(rest);
-              rest &= rest - 1;
-              view_key.push_back(static_cast<std::uint32_t>(
-                  parent.views[static_cast<std::size_t>(p)]));
-            }
+            pack_view_key(static_cast<std::uint32_t>(q), mask, parent);
             bool view_inserted;
             view_index = out.views.intern(view_key.data(), view_key.size(),
                                           &view_inserted);
@@ -528,10 +604,11 @@ PendingFrontier FrontierEngine::expand(const FrontierChunk& chunk,
           memo_val[pair] = view_index;
           memo_epoch[pair] = epoch;
         }
-        state_key[static_cast<std::size_t>(q) + 1] =
+        view_idx[static_cast<std::size_t>(q)] =
             static_cast<std::uint32_t>(view_index);
       }
-      state_key[0] = static_cast<std::uint32_t>(adv_next);
+      assert(adversary.state_bound() <= 0 ||
+             adv_next < adversary.state_bound());
       ++emissions;
       bool inserted;
       int index;
@@ -541,17 +618,19 @@ PendingFrontier FrontierEngine::expand(const FrontierChunk& chunk,
                                 static_cast<std::size_t>(alphabet) +
                             static_cast<std::size_t>(letter)]);
         for (int q = 0; q < n; ++q) {
-          addr = addr * w_cap + state_key[static_cast<std::size_t>(q) + 1];
+          addr = addr * w_cap + view_idx[static_cast<std::size_t>(q)];
         }
         std::int32_t slot = dense_state_slot[static_cast<std::size_t>(addr)];
         inserted = slot < 0;
         if (inserted) {
+          pack_state_key(adv_next);
           slot = out.state_index.append_new(state_key.data(),
                                             state_key.size());
           dense_state_slot[static_cast<std::size_t>(addr)] = slot;
         }
         index = slot;
       } else {
+        pack_state_key(adv_next);
         index = out.state_index.intern(state_key.data(), state_key.size(),
                                        &inserted);
       }
@@ -621,9 +700,13 @@ PendingFrontier FrontierEngine::merge(
   if (chunks.size() == 1) {
     // The single chunk covered the whole frontier: its dedup is already
     // global and its parent indexing is the frontier's.
+    if (chunks.front().spilled != nullptr) {
+      restore_spilled(chunks.front());
+    }
     return std::move(chunks.front());
   }
 
+  const KeyCodec codec = level_codec();
   PendingFrontier level;
   level.chunk = FrontierChunk{0, frontier_.size()};
   if (options_.keep_levels) level.children.resize(frontier_.size());
@@ -631,9 +714,15 @@ PendingFrontier FrontierEngine::merge(
   std::vector<int> state_remap;
   std::vector<std::uint32_t> state_key;
   for (PendingFrontier& chunk : chunks) {
+    // Spilled chunks come back one at a time, right before they fold
+    // in, so at most one restored chunk is resident besides the merged
+    // level -- that bound is the spill tier's whole point.
+    if (chunk.spilled != nullptr) restore_spilled(chunk);
     level.stats.add(chunk.stats);
     // Re-key the chunk's distinct views in the merged view table (one
-    // long-key lookup per distinct view, not per state).
+    // long-key lookup per distinct view, not per state). Every chunk of
+    // a level packs with the same KeyCodec, so the packed bytes carry
+    // over verbatim.
     view_remap.assign(chunk.views.size(), -1);
     for (std::size_t v = 0; v < chunk.views.size(); ++v) {
       bool inserted;
@@ -645,11 +734,20 @@ PendingFrontier FrontierEngine::merge(
     for (std::size_t s = 0; s < chunk.states.size(); ++s) {
       const std::uint32_t* words =
           chunk.state_index.words_of(static_cast<int>(s));
-      const std::size_t count = chunk.state_index.count_of(static_cast<int>(s));
-      state_key.assign(words, words + count);
-      for (std::size_t q = 1; q < count; ++q) {
-        state_key[q] = static_cast<std::uint32_t>(
-            view_remap[static_cast<std::size_t>(words[q])]);
+      assert(chunk.state_index.count_of(static_cast<int>(s)) ==
+             codec.state_words);
+      // Remap the packed view-index fields into the merged table's
+      // numbering; the adversary-state field carries over.
+      state_key.assign(codec.state_words, 0);
+      put_bits(state_key.data(), 0, get_bits(words, 0, codec.adv_bits),
+               codec.adv_bits);
+      for (int q = 0; q < codec.n; ++q) {
+        const std::size_t pos =
+            codec.adv_bits + static_cast<std::size_t>(q) * codec.index_bits;
+        put_bits(state_key.data(), pos,
+                 static_cast<std::uint32_t>(view_remap[get_bits(
+                     words, pos, codec.index_bits)]),
+                 codec.index_bits);
       }
       bool inserted;
       const int index = level.state_index.intern(state_key.data(),
@@ -677,6 +775,9 @@ PendingFrontier FrontierEngine::merge(
         }
       }
     }
+    // Fully folded in: release the chunk (and, for restored chunks, keep
+    // the resident set at merged + one chunk instead of merged + all).
+    chunk = PendingFrontier{};
   }
   // Fix up the summed chunk stats for the cross-chunk dedup this merge
   // performed: duplicates across chunks count as dedup hits, and the
@@ -692,6 +793,10 @@ PendingFrontier FrontierEngine::merge(
 
 void FrontierEngine::commit(PendingFrontier level) {
   assert(!level.overflow && "commit of an overflowed level");
+  if (level.spilled != nullptr) restore_spilled(level);
+  // The codec of the level being committed: derived BEFORE any interner
+  // mutation below, so it matches what expand()/merge() used.
+  const KeyCodec codec = level_codec();
   // Sequential hand-off: commits of one engine happen one at a time but
   // possibly from different pool threads across levels.
   interner_->attach_to_current_thread();
@@ -716,17 +821,27 @@ void FrontierEngine::commit(PendingFrontier level) {
     out.multiplicity = state.multiplicity;
     out.views.resize(static_cast<std::size_t>(n));
     for (int q = 0; q < n; ++q) {
-      const auto v = static_cast<std::size_t>(key[static_cast<std::size_t>(q) + 1]);
+      const auto v = static_cast<std::size_t>(get_bits(
+          key, codec.adv_bits + static_cast<std::size_t>(q) * codec.index_bits,
+          codec.index_bits));
       ViewId& id = resolved[v];
       if (id < 0) {
         const std::uint32_t* words = level.views.words_of(static_cast<int>(v));
-        const std::size_t count = level.views.count_of(static_cast<int>(v));
+        std::size_t pos = 0;
+        const std::uint32_t recv = get_bits(words, pos, codec.q_bits);
+        pos += codec.q_bits;
+        const auto in_mask =
+            static_cast<NodeMask>(get_bits(words, pos, codec.mask_bits));
+        pos += codec.mask_bits;
         senders.clear();
-        for (std::size_t k = 2; k < count; ++k) {
-          senders.push_back(static_cast<ViewId>(words[k]));
+        NodeMask rest = in_mask;
+        while (rest != 0) {
+          rest &= rest - 1;
+          senders.push_back(
+              static_cast<ViewId>(get_bits(words, pos, codec.sender_bits)));
+          pos += codec.sender_bits;
         }
-        id = interner_->step(static_cast<ProcessId>(words[0]),
-                             static_cast<NodeMask>(words[1]), senders);
+        id = interner_->step(static_cast<ProcessId>(recv), in_mask, senders);
       }
       out.views[static_cast<std::size_t>(q)] = id;
     }
@@ -739,7 +854,8 @@ void FrontierEngine::commit(PendingFrontier level) {
   // per-process tally feeding the dense heuristic is one scan of it.
   frontier_distinct_.assign(static_cast<std::size_t>(n), 0);
   for (std::size_t v = 0; v < level.views.size(); ++v) {
-    ++frontier_distinct_[level.views.words_of(static_cast<int>(v))[0]];
+    ++frontier_distinct_[get_bits(level.views.words_of(static_cast<int>(v)),
+                                  0, codec.q_bits)];
   }
   ++level_;
   level_sizes_.push_back(frontier_.size());

@@ -41,6 +41,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string_view>
 #include <utility>
@@ -71,6 +72,59 @@ FrontierMode default_frontier_mode();
 std::optional<FrontierMode> frontier_mode_from_name(std::string_view name);
 const char* to_string(FrontierMode mode);
 
+/// Fixed-width bit layout of the engine's pending dedup keys, derived
+/// once per level from quantities that are constant while that level
+/// expands (n, the expansion shape, the parent interner size, the parent
+/// frontier size, and the adversary's state_bound()). A view key
+/// [q, mask, senders...] and a state key [adv_state, view indices] are
+/// packed LSB-first into little-endian uint32 words; packing is
+/// injective, so dedup equality classes -- and with them every result
+/// byte -- are exactly those of the unpacked keys, while the
+/// WordSeqIndex pools (and the spill records built from them) shrink by
+/// the ratio of the summed bit widths to full words. Every chunk of one
+/// level uses the same widths, so merge() can re-intern chunk view keys
+/// byte-for-byte and only state keys need field-level remapping.
+struct KeyCodec {
+  std::uint32_t q_bits = 0;       ///< receiver process, < n
+  std::uint32_t mask_bits = 0;    ///< round in-mask, n bits
+  std::uint32_t sender_bits = 0;  ///< parent-level interned view ids
+  std::uint32_t adv_bits = 0;     ///< safety-automaton state
+  std::uint32_t index_bits = 0;   ///< pending-view table indices
+  std::uint32_t state_words = 0;  ///< packed state-key length in words
+  int n = 0;
+};
+
+/// Writes the low `bits` (<= 32) bits of `value` at absolute bit
+/// position `pos` of a zero-initialized little-endian word buffer.
+/// `value` must fit in `bits` bits; fields never overlap, so plain OR
+/// suffices.
+inline void put_bits(std::uint32_t* words, std::size_t pos,
+                     std::uint32_t value, std::uint32_t bits) {
+  if (bits == 0) return;
+  const std::size_t w = pos >> 5;
+  const unsigned off = pos & 31;
+  const std::uint64_t shifted = static_cast<std::uint64_t>(value) << off;
+  words[w] |= static_cast<std::uint32_t>(shifted);
+  if (off + bits > 32) {
+    words[w + 1] |= static_cast<std::uint32_t>(shifted >> 32);
+  }
+}
+
+/// Reads the `bits` (<= 32) bits at absolute bit position `pos`.
+inline std::uint32_t get_bits(const std::uint32_t* words, std::size_t pos,
+                              std::uint32_t bits) {
+  if (bits == 0) return 0;
+  const std::size_t w = pos >> 5;
+  const unsigned off = pos & 31;
+  std::uint64_t value = words[w] >> off;
+  if (off + bits > 32) {
+    value |= static_cast<std::uint64_t>(words[w + 1]) << (32 - off);
+  }
+  const std::uint64_t mask =
+      bits >= 32 ? 0xffffffffull : ((std::uint64_t{1} << bits) - 1);
+  return static_cast<std::uint32_t>(value & mask);
+}
+
 /// Append-only open-addressed map from word sequences (dedup keys) to
 /// dense indices, with the key material owned by the table -- the
 /// allocation-free workhorse behind pending-view and pending-state
@@ -98,8 +152,18 @@ class WordSeqIndex {
   std::size_t count_of(int index) const {
     return entries_[static_cast<std::size_t>(index)].count;
   }
+  /// Rough resident footprint in bytes (pool + entries + probe table),
+  /// an input of the spill policy (core/spill.*).
+  std::uint64_t approx_bytes() const {
+    return pool_.size() * sizeof(std::uint32_t) +
+           entries_.size() * sizeof(Entry) + slots_.size() * sizeof(int);
+  }
 
  private:
+  /// The spill tier serializes pool_ + entries_ directly and restores
+  /// tables without the probe table (read-only, like after append_new).
+  friend class FrontierSpill;
+
   struct Entry {
     std::size_t offset = 0;
     std::uint32_t count = 0;
@@ -133,14 +197,17 @@ struct PendingState {
 /// frontier). Views are stored as chunk-local dedup indices into
 /// `views`, whose key words are [process, mask, senders...] with sender
 /// ids referring to the PARENT level's interned views.
+class SpillTicket;
+
 struct PendingFrontier {
   FrontierChunk chunk;
   std::vector<PendingState> states;
   /// Distinct pending views of this slice; key words of view v are
-  /// [process, mask, senders...].
+  /// the KeyCodec packing of [process, mask, senders...].
   WordSeqIndex views;
   /// State dedup table, parallel to `states`: key words of state s are
-  /// [adv_state, view index of process 0, ..., view index of n-1].
+  /// the KeyCodec packing of [adv_state, view index of process 0, ...,
+  /// view index of n-1].
   WordSeqIndex state_index;
   /// children[i - chunk.begin] = local child indices of frontier parent
   /// i, in discovery order; filled only under keep_levels.
@@ -151,6 +218,15 @@ struct PendingFrontier {
   /// AnalysisOptions::metrics only at commit() so truncated levels never
   /// contribute (the determinism contract in telemetry/metrics.hpp).
   telemetry::PendingStats stats;
+  /// Non-null iff states/views/state_index/children currently live in a
+  /// spill file instead of memory (core/spill.*); chunk, overflow, and
+  /// stats stay resident so budget scans and stat sums never touch disk.
+  /// merge() restores spilled slices one at a time, in chunk order.
+  std::shared_ptr<SpillTicket> spilled;
+
+  /// Rough resident footprint in bytes of the spillable payload, the
+  /// quantity the spill policy compares against its budget.
+  std::uint64_t approx_bytes() const;
 };
 
 /// Shared early-abort accumulator for one level's concurrent chunk
@@ -301,6 +377,11 @@ class FrontierEngine {
     /// [letter * n + q] -> index into pairs.
     std::vector<std::int32_t> pair_of;
   };
+
+  /// The key bit-widths of the level currently being expanded, derived
+  /// from pre-commit state only -- expand(), merge(), and the head of
+  /// commit() (before any interner mutation) all see the same codec.
+  KeyCodec level_codec() const;
 
   const MessageAdversary* adversary_;
   AnalysisOptions options_;

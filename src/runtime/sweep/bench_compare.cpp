@@ -41,6 +41,12 @@ BenchBaseline parse_bench_baseline(std::string_view text) {
     if (const JsonValue* tolerance = entry.find("tolerance_pct")) {
       parsed.tolerance_pct = tolerance->as_uint();
     }
+    if (const JsonValue* rss = entry.find("peak_rss_bytes")) {
+      parsed.peak_rss_bytes = rss->as_uint();
+    }
+    if (const JsonValue* tolerance = entry.find("rss_tolerance_pct")) {
+      parsed.rss_tolerance_pct = tolerance->as_uint();
+    }
     baseline.benchmarks.push_back(std::move(parsed));
   }
   return baseline;
@@ -60,6 +66,12 @@ std::string write_bench_baseline(const BenchBaseline& baseline) {
     writer.member("real_time_ns", entry.real_time_ns);
     if (entry.tolerance_pct.has_value()) {
       writer.member("tolerance_pct", *entry.tolerance_pct);
+    }
+    if (entry.peak_rss_bytes.has_value()) {
+      writer.member("peak_rss_bytes", *entry.peak_rss_bytes);
+    }
+    if (entry.rss_tolerance_pct.has_value()) {
+      writer.member("rss_tolerance_pct", *entry.rss_tolerance_pct);
     }
     writer.end_object();
   }
@@ -88,16 +100,24 @@ std::vector<BenchMeasurement> parse_benchmark_results(std::string_view text) {
     const double ns =
         entry.at("real_time").as_double() *
         unit_to_ns(entry.at("time_unit").as_string());
+    // Counters appear as plain top-level members of the row; peak RSS
+    // merges as the maximum across repetitions (it is a high-water
+    // mark, so the minimum rule used for times would understate it).
+    double rss = 0;
+    if (const JsonValue* counter = entry.find("peak_rss_bytes")) {
+      rss = counter->as_double();
+    }
     bool merged = false;
     for (BenchMeasurement& seen : measurements) {
       if (seen.name == name) {
         if (ns < seen.real_time_ns) seen.real_time_ns = ns;
+        if (rss > seen.peak_rss_bytes) seen.peak_rss_bytes = rss;
         merged = true;
         break;
       }
     }
     if (!merged) {
-      measurements.push_back(BenchMeasurement{name, ns});
+      measurements.push_back(BenchMeasurement{name, ns, rss});
     }
   }
   return measurements;
@@ -121,14 +141,31 @@ BenchCompareReport compare_bench_results(
         break;
       }
     }
+    if (entry.peak_rss_bytes.has_value()) {
+      row.baseline_rss = *entry.peak_rss_bytes;
+      row.rss_tolerance_pct = entry.rss_tolerance_pct.value_or(
+          baseline.default_tolerance_pct);
+    }
     if (found == nullptr) {
       row.missing = true;
+      row.rss_missing = entry.peak_rss_bytes.has_value();
     } else {
       row.current_ns = found->real_time_ns;
       const double limit =
           static_cast<double>(row.baseline_ns) *
           (1.0 + static_cast<double>(row.tolerance_pct) / 100.0);
       row.regressed = row.current_ns > limit;
+      if (entry.peak_rss_bytes.has_value()) {
+        row.current_rss = found->peak_rss_bytes;
+        if (found->peak_rss_bytes <= 0) {
+          row.rss_missing = true;  // the counter silently vanished
+        } else {
+          const double rss_limit =
+              static_cast<double>(row.baseline_rss) *
+              (1.0 + static_cast<double>(row.rss_tolerance_pct) / 100.0);
+          row.rss_regressed = row.current_rss > rss_limit;
+        }
+      }
     }
     report.rows.push_back(std::move(row));
   }

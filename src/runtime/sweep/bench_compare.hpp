@@ -10,9 +10,16 @@
 //     "benchmarks": [
 //       {"name": "BM_CheckOmission/2/0", "real_time_ns": 12345},
 //       {"name": "BM_CheckOmission/3/1", "real_time_ns": 678901,
-//        "tolerance_pct": 500}
+//        "tolerance_pct": 500,
+//        "peak_rss_bytes": 150000000, "rss_tolerance_pct": 200}
 //     ]
 //   }
+//
+// A row with "peak_rss_bytes" additionally gates the benchmark's
+// "peak_rss_bytes" counter (bench/bench_common.hpp attaches getrusage
+// max RSS): the MAXIMUM across repetitions is compared under
+// rss_tolerance_pct (default_tolerance_pct when unset), and a baseline
+// RSS bound whose counter is absent from the results fails the gate.
 //
 // The current side is google-benchmark's own --benchmark_format=json
 // output, parsed in float mode (JsonNumbers::kAllowFloats). Per name the
@@ -44,6 +51,11 @@ struct BenchBaselineEntry {
   std::uint64_t real_time_ns = 0;
   /// Overrides BenchBaseline::default_tolerance_pct when set.
   std::optional<std::uint64_t> tolerance_pct;
+  /// Peak resident set gate (the benchmark's "peak_rss_bytes" counter,
+  /// see bench/bench_common.hpp). Unset = this row gates time only.
+  std::optional<std::uint64_t> peak_rss_bytes;
+  /// Overrides the default tolerance for the RSS comparison when set.
+  std::optional<std::uint64_t> rss_tolerance_pct;
 };
 
 struct BenchBaseline {
@@ -51,10 +63,14 @@ struct BenchBaseline {
   std::vector<BenchBaselineEntry> benchmarks;
 };
 
-/// One benchmark's minimum iteration time from a results file.
+/// One benchmark's minimum iteration time (and maximum reported peak
+/// RSS, when the benchmark attaches the counter) from a results file.
 struct BenchMeasurement {
   std::string name;
   double real_time_ns = 0;
+  /// Maximum "peak_rss_bytes" counter across repetitions; 0 = the
+  /// benchmark did not report one.
+  double peak_rss_bytes = 0;
 };
 
 /// Outcome of one baseline row against the measurements.
@@ -65,6 +81,14 @@ struct BenchComparison {
   std::uint64_t tolerance_pct = 0;
   bool missing = false;       ///< baseline row absent from the results
   bool regressed = false;     ///< current > baseline * (1 + tol/100)
+  /// RSS leg, mirroring the time leg; all-zero when the baseline row
+  /// does not gate RSS. A baseline RSS bound with no reported counter
+  /// counts as rss_missing (a silently vanishing counter must not pass).
+  std::uint64_t baseline_rss = 0;
+  double current_rss = 0;
+  std::uint64_t rss_tolerance_pct = 0;
+  bool rss_missing = false;
+  bool rss_regressed = false;
 };
 
 struct BenchCompareReport {
@@ -73,6 +97,7 @@ struct BenchCompareReport {
   bool ok() const {
     for (const BenchComparison& row : rows) {
       if (row.missing || row.regressed) return false;
+      if (row.rss_missing || row.rss_regressed) return false;
     }
     return true;
   }

@@ -33,9 +33,11 @@ struct SweepCliOptions {
   std::string json_path;
 };
 
-/// Strips --sweep-threads=N, --sweep-frontier=MODE, and --sweep-json=PATH
-/// from argv (so they can precede google-benchmark's own argument parsing)
-/// and applies the thread/frontier defaults immediately.
+/// Strips --sweep-threads=N, --sweep-frontier=MODE,
+/// --sweep-spill-budget-mb=N, --sweep-spill-dir=PATH, and
+/// --sweep-json=PATH from argv (so they can precede google-benchmark's
+/// own argument parsing) and applies the thread/frontier/spill defaults
+/// immediately.
 SweepCliOptions consume_sweep_args(int* argc, char** argv);
 
 /// Writes the registry to options.json_path if set. Returns false (after

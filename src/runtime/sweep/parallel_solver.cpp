@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/spill.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -51,6 +52,12 @@ DepthAnalysis parallel_analyze_depth(const MessageAdversary& adversary,
   const std::size_t chunk_states = sharding.chunk_states > 0
                                        ? sharding.chunk_states
                                        : default_chunk_states();
+  // Out-of-core tier (core/spill.*): expansions exceeding their fair
+  // share of the budget go to temp files between expand and merge. Like
+  // the chunk size, never observable in any result byte.
+  const SpillOptions spill_options = resolve_spill(options.spill);
+  std::optional<FrontierSpill> spill;
+  if (spill_options.budget_bytes > 0) spill.emplace(spill_options);
 
   const auto num_roots = static_cast<std::size_t>(
       all_input_vectors(n, options.num_values).size());
@@ -97,6 +104,7 @@ DepthAnalysis parallel_analyze_depth(const MessageAdversary& adversary,
       pool.parallel_for(items.size(), [&](std::size_t i) {
         expansions[i] =
             shards[items[i].root].engine->expand(items[i].chunk, budget);
+        if (spill) spill->maybe_spill(expansions[i], items.size());
         if (sharding.on_chunk) {
           const std::lock_guard<std::mutex> lock(progress_mutex);
           ++chunks_done;
@@ -122,8 +130,9 @@ DepthAnalysis parallel_analyze_depth(const MessageAdversary& adversary,
       tripped |= expansion.overflow;
     }
     if (tripped && items.size() != num_roots) {
-      expansions.clear();
+      expansions.clear();  // drops any spill tickets: files unlink here
       expansions.shrink_to_fit();
+      if (spill) spill->discard_staged();
       items.clear();
       for (std::size_t r = 0; r < num_roots; ++r) {
         first_item[r] = r;
@@ -146,6 +155,7 @@ DepthAnalysis parallel_analyze_depth(const MessageAdversary& adversary,
       // of scheduling, so this single tick is deterministic too.
       if (metrics != nullptr) metrics->add_budget_abort();
       analysis.truncated = true;
+      if (spill) spill->discard_staged();
       pool.parallel_for(num_roots, [&](std::size_t r) {
         shards[r].engine->mark_truncated();
       });
@@ -176,6 +186,7 @@ DepthAnalysis parallel_analyze_depth(const MessageAdversary& adversary,
     if (overflow || total > options.max_states) {
       if (metrics != nullptr) metrics->add_budget_abort();
       analysis.truncated = true;
+      if (spill) spill->discard_staged();
       pool.parallel_for(num_roots, [&](std::size_t r) {
         shards[r].engine->mark_truncated();
       });
@@ -184,6 +195,7 @@ DepthAnalysis parallel_analyze_depth(const MessageAdversary& adversary,
     pool.parallel_for(num_roots, [&](std::size_t r) {
       shards[r].engine->commit(std::move(pending[r]));
     });
+    if (spill) spill->commit_level();
     if (metrics != nullptr) {
       // frontier_states is the size of the level just expanded (s - 1),
       // total the size of the level just committed; together the two
@@ -276,6 +288,16 @@ DepthAnalysis parallel_analyze_depth(const MessageAdversary& adversary,
     }
   } else {
     analysis.levels.push_back(merge_level(reached));
+  }
+
+  if (metrics != nullptr && spill) {
+    const FrontierSpill::Stats totals = spill->stats();
+    telemetry::SpillStats flushed;
+    flushed.chunks_spilled = totals.chunks_spilled;
+    flushed.bytes_written = totals.bytes_written;
+    flushed.bytes_replayed = totals.bytes_replayed;
+    flushed.replay_passes = totals.replay_passes;
+    metrics->add_spill(flushed);
   }
 
   compute_components(options, analysis);

@@ -22,25 +22,31 @@ int pick(std::mt19937_64& rng, int bound) {
 
 FamilyPoint gen_leaf(std::mt19937_64& rng, int n) {
   if (n == 2) {
-    switch (pick(rng, 5)) {
+    switch (pick(rng, 6)) {
       case 0: return {"lossy_link", 2, 1 + pick(rng, 7)};
       case 1: return {"omission", 2, pick(rng, 3)};
       case 2: return {"heard_of", 2, 1 + pick(rng, 2)};
       case 3: return {"heard_of_rounds", 2, 1 + pick(rng, 3)};
+      case 4: return {"mobile_failure", 2, 1 + pick(rng, 3)};
       default: return {"windowed_lossy_link", 2, 1 + pick(rng, 3)};
     }
   }
   // Larger n: stick to the families whose alphabets stay moderate.
   // heard_of below k = n-1 explodes combinatorially (k = 1 at n = 3 is
   // already all 64 graphs), so only the top of its range is drawn;
-  // heard_of_rounds has n^n letters, within the fuzz cap only at n = 3.
-  switch (pick(rng, n == 3 ? 3 : 2)) {
+  // heard_of_rounds has n^n letters, within the fuzz cap only at n = 3;
+  // mobile_failure has 1 + n(2^(n-1) - 1), within the cap to n = 4.
+  const int choices = n == 3 ? 4 : (n == 4 ? 3 : 2);
+  switch (pick(rng, choices)) {
     case 0: {
       const int max_f = std::min(2, n * (n - 1));
       return {"omission", n, pick(rng, max_f + 1)};
     }
     case 1: return {"heard_of", n, n - 1 + pick(rng, 2)};
-    default: return {"heard_of_rounds", n, 1 + pick(rng, 2)};
+    case 2:
+      if (n == 3) return {"heard_of_rounds", n, 1 + pick(rng, 2)};
+      [[fallthrough]];  // n == 4: slot 2 is mobile_failure
+    default: return {"mobile_failure", n, 1 + pick(rng, 2)};
   }
 }
 

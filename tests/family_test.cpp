@@ -8,6 +8,7 @@
 
 #include "adversary/family.hpp"
 #include "adversary/heard_of.hpp"
+#include "adversary/mobile_failure.hpp"
 
 namespace topocon {
 namespace {
@@ -106,6 +107,76 @@ TEST(FamilyValidation, HeardOfRoundsComposes) {
   // vssc/finite_loss are barred), including under a window combinator.
   const std::string spec =
       R"({"op":"product","of":[{"family":"heard_of_rounds","n":2,"param":2},{"family":"lossy_link","n":2,"param":7}]})";
+  const FamilyPoint point{"composed:" + spec, 2, 0};
+  EXPECT_EQ(family_point_label(point), spec);
+  EXPECT_EQ(make_family_adversary(point)->num_processes(), 2);
+}
+
+TEST(FamilyValidation, MobileFailure) {
+  expect_invalid({"mobile_failure", 1, 1},
+                 "mobile_failure: n must be in [2, 6] (got 1)");
+  expect_invalid({"mobile_failure", 7, 1},
+                 "mobile_failure: n must be in [2, 6] (got 7)");
+  // The parameter cap keeps 1 + n * r inside AdvState.
+  expect_invalid({"mobile_failure", 3, 0},
+                 "mobile_failure: param must be in [1, 715827882] (got 0)");
+  expect_invalid({"mobile_failure", 2, INT_MAX},
+                 "mobile_failure: param must be in [1, 1073741823] "
+                 "(got 2147483647)");
+  EXPECT_EQ(make_family_adversary({"mobile_failure", 2, 1})->num_processes(),
+            2);
+  EXPECT_EQ(family_point_label({"mobile_failure", 3, 2}), "n=3 r=2");
+}
+
+TEST(FamilyValidation, MobileFailureAutomaton) {
+  // Alphabet: the clean round plus, per sender, every nonempty dropped
+  // subset of its n - 1 outgoing edges -> 1 + n * (2^(n-1) - 1) graphs.
+  EXPECT_EQ(make_family_adversary({"mobile_failure", 2, 1})->alphabet_size(),
+            3);
+  EXPECT_EQ(make_family_adversary({"mobile_failure", 4, 1})->alphabet_size(),
+            29);
+  const auto n3 = make_family_adversary({"mobile_failure", 3, 2});
+  EXPECT_EQ(n3->alphabet_size(), 10);
+  EXPECT_TRUE(n3->is_compact());
+
+  // Letter 0 is the clean round; letters 1..3 fault sender 0, 4..6
+  // sender 1, 7..9 sender 2.
+  const auto* adversary =
+      dynamic_cast<const MobileFailureAdversary*>(n3.get());
+  ASSERT_NE(adversary, nullptr);
+  EXPECT_EQ(adversary->persistence(), 2);
+  EXPECT_EQ(adversary->graph(0), Digraph::complete(3));
+  EXPECT_EQ(adversary->fault_of(0), -1);
+  EXPECT_EQ(adversary->fault_of(1), 0);
+  EXPECT_EQ(adversary->fault_of(4), 1);
+  EXPECT_EQ(adversary->fault_of(9), 2);
+
+  // A sender may stay faulty for `persistence` rounds, not more; a clean
+  // round or a different sender resets the streak.
+  EXPECT_FALSE(adversary->safety_rejects({1, 2}));
+  EXPECT_TRUE(adversary->safety_rejects({1, 2, 3}));
+  EXPECT_FALSE(adversary->safety_rejects({1, 0, 2, 3}));
+  EXPECT_FALSE(adversary->safety_rejects({1, 4, 2, 5}));
+
+  // persistence = 1 forces the fault to move (or vanish) every round.
+  const auto strict = make_family_adversary({"mobile_failure", 3, 1});
+  EXPECT_TRUE(strict->safety_rejects({1, 2}));
+  EXPECT_FALSE(strict->safety_rejects({1, 4, 1, 4}));
+
+  // Liveness on lassos: a cycle faulting one fixed sender drifts its
+  // streak across unrollings however large the persistence; cycles with
+  // a clean round or a second sender reset mid-pass and are admitted.
+  const auto lazy = make_family_adversary({"mobile_failure", 3, 100});
+  EXPECT_FALSE(lazy->admits_lasso({}, {1}));
+  EXPECT_FALSE(lazy->admits_lasso({4}, {1, 2}));
+  EXPECT_TRUE(lazy->admits_lasso({1}, {1, 4}));
+  EXPECT_TRUE(lazy->admits_lasso({1}, {0}));
+}
+
+TEST(FamilyValidation, MobileFailureComposes) {
+  // Compact and non-oblivious, so it composes like heard_of_rounds.
+  const std::string spec =
+      R"({"op":"window","w":2,"of":[{"family":"mobile_failure","n":2,"param":1}]})";
   const FamilyPoint point{"composed:" + spec, 2, 0};
   EXPECT_EQ(family_point_label(point), spec);
   EXPECT_EQ(make_family_adversary(point)->num_processes(), 2);
@@ -262,6 +333,7 @@ TEST(FamilyGrid, ParamRangeMatchesDocumentedBounds) {
   EXPECT_EQ(family_param_range("lossy_link", 2).max, 7);
   EXPECT_EQ(family_param_range("omission", 3).max, 6);
   EXPECT_EQ(family_param_range("heard_of", 3).max, 3);
+  EXPECT_EQ(family_param_range("mobile_failure", 3).max, 715827882);
   EXPECT_EQ(family_param_range("windowed_lossy_link", 2).max, INT_MAX);
   EXPECT_EQ(family_param_range("vssc", 4).min, 1);
   EXPECT_EQ(family_param_range("finite_loss", 2).max, 0);

@@ -80,6 +80,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -91,6 +92,7 @@
 #include "api/api.hpp"
 #include "core/frontier.hpp"
 #include "core/solvability.hpp"
+#include "core/spill.hpp"
 #include "runtime/sweep/bench_compare.hpp"
 #include "runtime/sweep/checkpoint.hpp"
 #include "runtime/sweep/cli.hpp"
@@ -144,6 +146,21 @@ int usage(std::ostream& out, int code) {
          "                            execution detail -- results are "
          "identical\n"
          "                            for every mode\n"
+         "  --spill-budget-mb=N       soft cap on resident expanded-but-"
+         "unmerged\n"
+         "                            frontier bytes; chunks beyond their "
+         "fair share\n"
+         "                            spill to temp files and stream back "
+         "in merge\n"
+         "                            order (0/unset = never spill; like "
+         "--threads an\n"
+         "                            execution detail -- artifacts are "
+         "byte-identical\n"
+         "                            at every budget)\n"
+         "  --spill-dir=PATH          directory for spill files (default: "
+         "the system\n"
+         "                            temp dir); always cleaned up on "
+         "exit\n"
          "  --json=PATH               checkpoint to PATH while running, "
          "then finalize\n"
          "                            it as a topocon-sweep-v1 document\n"
@@ -199,6 +216,12 @@ int usage(std::ostream& out, int code) {
          "checker\n"
          "                            leg (auto|dense|sparse, default "
          "auto)\n"
+         "  --spill-budget-mb=N       out-of-core frontier budget for "
+         "every checker\n"
+         "                            leg (see run flags); verdicts are "
+         "identical at\n"
+         "                            every budget\n"
+         "  --spill-dir=PATH          directory for spill files\n"
          "  --trace=PATH              write a Chrome-trace span file of "
          "every\n"
          "                            checker leg\n"
@@ -240,6 +263,10 @@ int usage(std::ostream& out, int code) {
          "(default 64)\n"
          "  --ring=N                  event-ring capacity per subscriber "
          "(default 1024)\n"
+         "  --spill-budget-mb=N       out-of-core frontier budget for "
+         "every sweep the\n"
+         "                            daemon runs (see run flags)\n"
+         "  --spill-dir=PATH          directory for spill files\n"
          "  --quiet                   no status lines on stderr\n"
          "\n"
          "client actions (all need --socket=PATH):\n"
@@ -262,6 +289,8 @@ struct RunFlags {
   int threads = 0;
   int chunk = 0;  // 0 = default_chunk_states()
   std::optional<FrontierMode> frontier;
+  std::optional<std::uint64_t> spill_budget_mb;  // 0 = disable explicitly
+  std::string spill_dir;  // empty = temp_directory_path()
   std::string json_path;
   Format format = Format::kTable;
   scenario::GridOverrides overrides;
@@ -293,6 +322,15 @@ bool parse_flags(int argc, char** argv, int first, RunFlags* flags) {
                     << *v << "'\n";
           return false;
         }
+      } else if (const auto v = sweep::flag_value(arg, "spill-budget-mb")) {
+        flags->spill_budget_mb =
+            sweep::parse_uint64_value("spill-budget-mb", *v);
+      } else if (const auto v = sweep::flag_value(arg, "spill-dir")) {
+        if (v->empty()) {
+          std::cerr << "topocon: --spill-dir needs a non-empty path\n";
+          return false;
+        }
+        flags->spill_dir = *v;
       } else if (const auto v = sweep::flag_value(arg, "json")) {
         if (v->empty()) {
           std::cerr << "topocon: --json needs a non-empty path\n";
@@ -341,6 +379,20 @@ bool parse_flags(int argc, char** argv, int first, RunFlags* flags) {
     }
   }
   return true;
+}
+
+/// Applies --spill-budget-mb/--spill-dir as the process-wide default
+/// (core/spill.hpp); the engine picks it up through resolve_spill. No-op
+/// when neither flag was given, leaving any --sweep-spill-* default.
+void apply_spill_flags(const std::optional<std::uint64_t>& budget_mb,
+                       const std::string& dir) {
+  if (!budget_mb.has_value() && dir.empty()) return;
+  SpillOptions spill = default_spill();
+  if (budget_mb.has_value()) {
+    spill.budget_bytes = spill_budget_mb_to_bytes(*budget_mb);
+  }
+  if (!dir.empty()) spill.dir = dir;
+  set_default_spill(spill);
 }
 
 /// Status stream: stderr when stdout is a CSV artifact.
@@ -671,14 +723,16 @@ void print_metrics_table(
     const std::vector<api::Query>& queries,
     const std::vector<std::optional<telemetry::JobTelemetry>>& telemetry) {
   Table table({"job", "expanded", "dedup", "committed", "interned",
-               "chunks", "levels", "high water", "aborts", "wall s"});
-  for (std::size_t column = 1; column <= 9; ++column) {
+               "chunks", "levels", "high water", "aborts", "spilled",
+               "spill MB", "wall s"});
+  for (std::size_t column = 1; column <= 11; ++column) {
     table.align_right(column);
   }
   std::size_t rows = 0;
   for (std::size_t j = 0; j < telemetry.size(); ++j) {
     if (!telemetry[j].has_value()) continue;
     const telemetry::TelemetryCounters& c = telemetry[j]->counters;
+    const telemetry::SpillStats& spill = telemetry[j]->spill;
     table.add_row({api::label_of(queries[j]),
                    std::to_string(c.states_expanded),
                    std::to_string(c.state_dedup_hits),
@@ -688,6 +742,10 @@ void print_metrics_table(
                    std::to_string(c.levels_committed),
                    std::to_string(c.frontier_high_water),
                    std::to_string(c.budget_early_aborts),
+                   std::to_string(spill.chunks_spilled),
+                   fmt(static_cast<double>(spill.bytes_written) /
+                           (1024.0 * 1024.0),
+                       1),
                    fmt(telemetry[j]->wall_seconds, 3)});
     ++rows;
   }
@@ -785,6 +843,7 @@ int cmd_run(const std::string& name, const RunFlags& flags) {
   if (flags.frontier.has_value()) {
     set_default_frontier_mode(*flags.frontier);
   }
+  apply_spill_flags(flags.spill_budget_mb, flags.spill_dir);
   std::ofstream trace_out;
   std::optional<telemetry::TraceWriter> trace;
   if (!open_trace(flags.trace_path, &trace_out, &trace)) return 1;
@@ -975,6 +1034,7 @@ int cmd_resume(const std::string& path, const RunFlags& flags) {
   if (flags.frontier.has_value()) {
     set_default_frontier_mode(*flags.frontier);
   }
+  apply_spill_flags(flags.spill_budget_mb, flags.spill_dir);
   // The document shape travels with the checkpoint (make_header), not the
   // command line: a --telemetry-json run resumes with telemetry sections
   // automatically, and stays byte-identical to an uninterrupted run.
@@ -1014,6 +1074,8 @@ struct FuzzFlags {
   scenario::FuzzSpec spec;
   int threads = 0;
   std::optional<FrontierMode> frontier;
+  std::optional<std::uint64_t> spill_budget_mb;
+  std::string spill_dir;
   std::string trace_path;
 };
 
@@ -1039,6 +1101,15 @@ bool parse_fuzz_flags(int argc, char** argv, FuzzFlags* flags) {
                     << *v << "'\n";
           return false;
         }
+      } else if (const auto v = sweep::flag_value(arg, "spill-budget-mb")) {
+        flags->spill_budget_mb =
+            sweep::parse_uint64_value("spill-budget-mb", *v);
+      } else if (const auto v = sweep::flag_value(arg, "spill-dir")) {
+        if (v->empty()) {
+          std::cerr << "topocon: --spill-dir needs a non-empty path\n";
+          return false;
+        }
+        flags->spill_dir = *v;
       } else if (const auto v = sweep::flag_value(arg, "trace")) {
         if (v->empty()) {
           std::cerr << "topocon: --trace needs a non-empty path\n";
@@ -1100,6 +1171,7 @@ int cmd_fuzz(const FuzzFlags& flags) {
   if (flags.frontier.has_value()) {
     set_default_frontier_mode(*flags.frontier);
   }
+  apply_spill_flags(flags.spill_budget_mb, flags.spill_dir);
   std::vector<FamilyPoint> points;
   try {
     points = scenario::fuzz_points(flags.spec);
@@ -1269,10 +1341,19 @@ int run_bench_gate(const std::string& baseline_path,
     std::cerr << "topocon: " << error.what() << "\n";
     return 1;
   }
-  Table table({"benchmark", "baseline", "current", "tolerance", "status"});
+  Table table({"benchmark", "baseline", "current", "tolerance",
+               "base RSS", "cur RSS", "status"});
   table.align_right(1);
   table.align_right(2);
   table.align_right(3);
+  table.align_right(4);
+  table.align_right(5);
+  const auto mib = [](double bytes) {
+    std::ostringstream text;
+    text << std::fixed << std::setprecision(1)
+         << bytes / (1024.0 * 1024.0) << " MiB";
+    return text.str();
+  };
   for (const sweep::BenchComparison& row : report.rows) {
     // Built with += appends: GCC 12's -Wrestrict misfires on chained
     // std::string operator+ here at -O2.
@@ -1286,9 +1367,27 @@ int run_bench_gate(const std::string& baseline_path,
     std::string tolerance = "+";
     tolerance += std::to_string(row.tolerance_pct);
     tolerance += "%";
-    table.add_row(
-        {row.name, baseline, current, tolerance,
-         row.missing ? "MISSING" : (row.regressed ? "REGRESSED" : "ok")});
+    // RSS columns stay "-" for rows whose baseline gates time only.
+    std::string base_rss = "-";
+    std::string cur_rss = "-";
+    if (row.baseline_rss > 0) {
+      base_rss = mib(static_cast<double>(row.baseline_rss));
+      if (row.current_rss > 0) cur_rss = mib(row.current_rss);
+    }
+    std::string status = "ok";
+    if (row.missing) {
+      status = "MISSING";
+    } else if (row.rss_missing) {
+      status = "RSS-MISSING";
+    } else if (row.regressed && row.rss_regressed) {
+      status = "REGRESSED+RSS";
+    } else if (row.regressed) {
+      status = "REGRESSED";
+    } else if (row.rss_regressed) {
+      status = "RSS-REGRESSED";
+    }
+    table.add_row({row.name, baseline, current, tolerance, base_rss,
+                   cur_rss, status});
   }
   std::cout << "Bench gate: " << results_path << " vs " << baseline_path
             << "\n";
@@ -1495,6 +1594,19 @@ int cmd_serve(int argc, char** argv) {
           return 2;
         }
         options.ring_capacity = static_cast<std::size_t>(ring);
+      } else if (const auto v = sweep::flag_value(arg, "spill-budget-mb")) {
+        SpillOptions spill = default_spill();
+        spill.budget_bytes = spill_budget_mb_to_bytes(
+            sweep::parse_uint64_value("spill-budget-mb", *v));
+        set_default_spill(spill);
+      } else if (const auto v = sweep::flag_value(arg, "spill-dir")) {
+        if (v->empty()) {
+          std::cerr << "topocon: --spill-dir needs a non-empty path\n";
+          return 2;
+        }
+        SpillOptions spill = default_spill();
+        spill.dir = std::string(*v);
+        set_default_spill(spill);
       } else if (arg == "--quiet") {
         quiet = true;
       } else {
